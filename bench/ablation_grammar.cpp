@@ -1,0 +1,106 @@
+// Ablation studies on the design choices called out in DESIGN.md:
+//
+//   1. Rule budget: how compression degrades when RePair is stopped after
+//      a bounded number of rules (max_rules), motivating the unlimited
+//      default.
+//   2. rANS folding threshold: compressed size of re_ans as fold_bits
+//      sweeps 8..13, motivating the default of 12.
+//   3. Row-block count: total compressed size of 1/4/16/64 blocks,
+//      quantifying the per-block compression loss the paper mentions when
+//      discussing multithreading (each block has its own grammar).
+//   4. Sentinel exclusion: compressed integers with and without the
+//      `$`-exclusion rule. Without it RePair may compress slightly better,
+//      but the output can no longer support the row-by-row multiplication
+//      algorithms -- this quantifies the (small) price of multipliability.
+
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+#include "core/blocked_matrix.hpp"
+#include "grammar/repair.hpp"
+
+using namespace gcm;
+
+int main(int argc, char** argv) {
+  CliParser cli("ablation_grammar", "Design-choice ablations");
+  bench::AddCommonFlags(&cli);
+  if (!cli.Parse(argc, argv)) return 0;
+
+  const char* kAblationSets[] = {"Census", "Airline78"};
+
+  bench::PrintHeader("Ablation 1 -- RePair rule budget (re_iv size, % dense)");
+  std::printf("%-10s | %9s %9s %9s %9s\n", "matrix", "500", "5000", "50000",
+              "unlimited");
+  for (const char* name : kAblationSets) {
+    DenseMatrix dense = bench::Generate(DatasetByName(name), cli);
+    std::printf("%-10s |", name);
+    for (std::size_t cap : {500ul, 5000ul, 50000ul, 0ul}) {
+      GcMatrix gc = GcMatrix::FromDense(dense, {GcFormat::kReIv, 12, cap});
+      std::printf(" %8.2f%%",
+                  bench::Pct(gc.CompressedBytes(),
+                             dense.UncompressedBytes()));
+    }
+    std::printf("\n");
+  }
+
+  bench::PrintHeader("Ablation 2 -- rANS fold_bits (re_ans size, % dense)");
+  std::printf("%-10s | %8s %8s %8s %8s %8s %8s\n", "matrix", "8", "9", "10",
+              "11", "12", "13");
+  for (const char* name : kAblationSets) {
+    DenseMatrix dense = bench::Generate(DatasetByName(name), cli);
+    std::printf("%-10s |", name);
+    for (u32 fold = 8; fold <= 13; ++fold) {
+      GcMatrix gc = GcMatrix::FromDense(dense, {GcFormat::kReAns, fold, 0});
+      std::printf(" %7.2f%%",
+                  bench::Pct(gc.CompressedBytes(),
+                             dense.UncompressedBytes()));
+    }
+    std::printf("\n");
+  }
+
+  bench::PrintHeader(
+      "Ablation 3 -- row-block count (re_iv total size, % dense)");
+  std::printf("%-10s | %8s %8s %8s %8s\n", "matrix", "1", "4", "16", "64");
+  for (const char* name : kAblationSets) {
+    DenseMatrix dense = bench::Generate(DatasetByName(name), cli);
+    std::printf("%-10s |", name);
+    for (std::size_t blocks : {1ul, 4ul, 16ul, 64ul}) {
+      BlockedGcMatrix blocked =
+          BlockedGcMatrix::Build(dense, blocks, {GcFormat::kReIv, 12, 0});
+      std::printf(" %7.2f%%",
+                  bench::Pct(blocked.CompressedBytes(),
+                             dense.UncompressedBytes()));
+    }
+    std::printf("\n");
+  }
+
+  bench::PrintHeader(
+      "Ablation 4 -- sentinel exclusion (RePair output integers |C|+2|R|)");
+  std::printf("%-10s | %12s %12s %9s\n", "matrix", "excluded", "free",
+              "overhead");
+  for (const char* name : kAblationSets) {
+    DenseMatrix dense = bench::Generate(DatasetByName(name), cli);
+    CsrvMatrix csrv = CsrvMatrix::FromDense(dense);
+    u32 alphabet = static_cast<u32>(
+        1 + csrv.dictionary().size() * csrv.cols());
+    RePairConfig with_sentinel;
+    with_sentinel.forbidden_terminal = kCsrvSentinel;
+    RePairConfig without_sentinel;  // $ may appear inside rules
+    u64 excluded =
+        RePairCompress(csrv.sequence(), alphabet, with_sentinel)
+            .IntegerCount();
+    u64 free_form =
+        RePairCompress(csrv.sequence(), alphabet, without_sentinel)
+            .IntegerCount();
+    std::printf("%-10s | %12llu %12llu %8.2f%%\n", name,
+                static_cast<unsigned long long>(excluded),
+                static_cast<unsigned long long>(free_form),
+                100.0 * (static_cast<double>(excluded) -
+                         static_cast<double>(free_form)) /
+                    static_cast<double>(free_form));
+  }
+  std::printf("\n'excluded' keeps $ out of every rule (required by the "
+              "compressed MVM kernels);\n'free' lets RePair absorb row "
+              "boundaries, which breaks multipliability.\n");
+  return 0;
+}

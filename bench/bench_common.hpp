@@ -1,0 +1,72 @@
+// Shared infrastructure for the table/figure reproduction benches.
+//
+// Every bench binary regenerates one table or figure of the paper on the
+// synthetic dataset replicas. Datasets are scaled by --scale (rows =
+// paper_rows / scale) so the default run finishes in minutes on a laptop;
+// --scale 1 reproduces the full row counts given enough time and memory.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "matrix/datasets.hpp"
+#include "matrix/dense_matrix.hpp"
+#include "util/cli.hpp"
+#include "util/common.hpp"
+
+namespace gcm::bench {
+
+/// Registers the flags shared by all benches.
+inline void AddCommonFlags(CliParser* cli) {
+  cli->AddFlag("scale", "500",
+               "row-count divisor applied to the paper's datasets");
+  cli->AddFlag("datasets", "all",
+               "comma-separated dataset names (default: all seven)");
+}
+
+/// Resolves --datasets into profile pointers.
+inline std::vector<const DatasetProfile*> SelectDatasets(
+    const CliParser& cli) {
+  std::vector<const DatasetProfile*> selected;
+  std::string spec = cli.GetString("datasets");
+  if (spec == "all") {
+    for (const DatasetProfile& profile : PaperDatasets()) {
+      selected.push_back(&profile);
+    }
+    return selected;
+  }
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t comma = spec.find(',', start);
+    std::string name = spec.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    if (!name.empty()) selected.push_back(&DatasetByName(name));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  GCM_CHECK_MSG(!selected.empty(), "no datasets selected");
+  return selected;
+}
+
+inline DenseMatrix Generate(const DatasetProfile& profile,
+                            const CliParser& cli) {
+  return GenerateDataset(profile,
+                         static_cast<std::size_t>(cli.GetInt("scale")));
+}
+
+/// Percentage of the dense footprint, printed as the paper does.
+inline double Pct(u64 bytes, u64 dense_bytes) {
+  return 100.0 * static_cast<double>(bytes) /
+         static_cast<double>(dense_bytes);
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("==================================================="
+              "=========================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("==================================================="
+              "=========================\n");
+}
+
+}  // namespace gcm::bench

@@ -1,0 +1,170 @@
+// Microbenchmarks of the individual kernels (google-benchmark): RePair
+// construction, rANS encode/decode, packed-array access, the four MVM
+// formats, CSM computation and CLA compression. These quantify the
+// constant factors behind the table-level results (e.g. why re_32
+// multiplies faster than re_iv, and re_iv faster than re_ans).
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/cla/cla_matrix.hpp"
+#include "core/gc_matrix.hpp"
+#include "grammar/repair.hpp"
+#include "matrix/datasets.hpp"
+#include "reorder/column_similarity.hpp"
+#include "util/rng.hpp"
+
+namespace gcm {
+namespace {
+
+const DenseMatrix& CensusMatrix() {
+  static const DenseMatrix matrix =
+      GenerateDatasetRows(DatasetByName("Census"), 3000);
+  return matrix;
+}
+
+const CsrvMatrix& CensusCsrv() {
+  static const CsrvMatrix csrv = CsrvMatrix::FromDense(CensusMatrix());
+  return csrv;
+}
+
+std::vector<double> RandomVector(std::size_t n, u64 seed) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.NextDouble() * 2.0 - 1.0;
+  return v;
+}
+
+void BM_RePairCompress(benchmark::State& state) {
+  const CsrvMatrix& csrv = CensusCsrv();
+  u64 alphabet = 1 + csrv.dictionary().size() * csrv.cols();
+  RePairConfig config;
+  config.forbidden_terminal = kCsrvSentinel;
+  for (auto _ : state) {
+    RePairResult result = RePairCompress(
+        csrv.sequence(), static_cast<u32>(alphabet), config);
+    benchmark::DoNotOptimize(result.final_sequence.data());
+  }
+  state.SetItemsProcessed(state.iterations() * csrv.sequence().size());
+}
+BENCHMARK(BM_RePairCompress)->Unit(benchmark::kMillisecond);
+
+void BM_RansEncode(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<u32> symbols(1 << 18);
+  for (auto& s : symbols) s = static_cast<u32>(rng.SkewedBelow(65536, 0.999));
+  for (auto _ : state) {
+    RansStream stream = RansEncode(symbols);
+    benchmark::DoNotOptimize(stream.chunks.data());
+  }
+  state.SetItemsProcessed(state.iterations() * symbols.size());
+}
+BENCHMARK(BM_RansEncode)->Unit(benchmark::kMillisecond);
+
+void BM_RansDecode(benchmark::State& state) {
+  Rng rng(2);
+  std::vector<u32> symbols(1 << 18);
+  for (auto& s : symbols) s = static_cast<u32>(rng.SkewedBelow(65536, 0.999));
+  RansStream stream = RansEncode(symbols);
+  for (auto _ : state) {
+    RansDecoder decoder(stream);
+    std::vector<u32> out = decoder.DecodeAll();
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * symbols.size());
+}
+BENCHMARK(BM_RansDecode)->Unit(benchmark::kMillisecond);
+
+void BM_IntVectorAccess(benchmark::State& state) {
+  Rng rng(3);
+  IntVector packed(1 << 20, 13);
+  for (std::size_t i = 0; i < packed.size(); ++i) {
+    packed.Set(i, rng.Next() & 0x1fff);
+  }
+  for (auto _ : state) {
+    u64 sum = 0;
+    for (std::size_t i = 0; i < packed.size(); ++i) sum += packed.Get(i);
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * packed.size());
+}
+BENCHMARK(BM_IntVectorAccess);
+
+void BM_PlainVectorAccess(benchmark::State& state) {
+  Rng rng(4);
+  std::vector<u32> plain(1 << 20);
+  for (auto& v : plain) v = static_cast<u32>(rng.Next() & 0x1fff);
+  for (auto _ : state) {
+    u64 sum = 0;
+    for (u32 v : plain) sum += v;
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * plain.size());
+}
+BENCHMARK(BM_PlainVectorAccess);
+
+void MvmRight(benchmark::State& state, GcFormat format) {
+  GcMatrix gc = GcMatrix::FromCsrv(CensusCsrv(), {format, 12, 0});
+  std::vector<double> x = RandomVector(gc.cols(), 5);
+  for (auto _ : state) {
+    std::vector<double> y = gc.MultiplyRight(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+void BM_MvmRightCsrv(benchmark::State& s) { MvmRight(s, GcFormat::kCsrv); }
+void BM_MvmRightRe32(benchmark::State& s) { MvmRight(s, GcFormat::kRe32); }
+void BM_MvmRightReIv(benchmark::State& s) { MvmRight(s, GcFormat::kReIv); }
+void BM_MvmRightReAns(benchmark::State& s) { MvmRight(s, GcFormat::kReAns); }
+BENCHMARK(BM_MvmRightCsrv)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_MvmRightRe32)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_MvmRightReIv)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_MvmRightReAns)->Unit(benchmark::kMicrosecond);
+
+void MvmLeft(benchmark::State& state, GcFormat format) {
+  GcMatrix gc = GcMatrix::FromCsrv(CensusCsrv(), {format, 12, 0});
+  std::vector<double> y = RandomVector(gc.rows(), 6);
+  for (auto _ : state) {
+    std::vector<double> x = gc.MultiplyLeft(y);
+    benchmark::DoNotOptimize(x.data());
+  }
+}
+void BM_MvmLeftCsrv(benchmark::State& s) { MvmLeft(s, GcFormat::kCsrv); }
+void BM_MvmLeftRe32(benchmark::State& s) { MvmLeft(s, GcFormat::kRe32); }
+void BM_MvmLeftReIv(benchmark::State& s) { MvmLeft(s, GcFormat::kReIv); }
+void BM_MvmLeftReAns(benchmark::State& s) { MvmLeft(s, GcFormat::kReAns); }
+BENCHMARK(BM_MvmLeftCsrv)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_MvmLeftRe32)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_MvmLeftReIv)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_MvmLeftReAns)->Unit(benchmark::kMicrosecond);
+
+void BM_CsmCompute(benchmark::State& state) {
+  DenseMatrix m = GenerateDatasetRows(DatasetByName("Covtype"), 512);
+  for (auto _ : state) {
+    ColumnSimilarityMatrix csm = ColumnSimilarityMatrix::Compute(m);
+    benchmark::DoNotOptimize(csm.edge_count());
+  }
+}
+BENCHMARK(BM_CsmCompute)->Unit(benchmark::kMillisecond);
+
+void BM_ClaCompress(benchmark::State& state) {
+  const DenseMatrix& m = CensusMatrix();
+  for (auto _ : state) {
+    ClaMatrix cla = ClaMatrix::Compress(m);
+    benchmark::DoNotOptimize(cla.CompressedBytes());
+  }
+}
+BENCHMARK(BM_ClaCompress)->Unit(benchmark::kMillisecond);
+
+void BM_ClaMvmRight(benchmark::State& state) {
+  ClaMatrix cla = ClaMatrix::Compress(CensusMatrix());
+  std::vector<double> x = RandomVector(cla.cols(), 7);
+  for (auto _ : state) {
+    std::vector<double> y = cla.MultiplyRight(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_ClaMvmRight)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace gcm
+
+BENCHMARK_MAIN();

@@ -1,0 +1,100 @@
+// Domain example: conjugate-gradient least squares over a compressed
+// training matrix.
+//
+//   $ ./least_squares_cg [--dataset Census] [--rows 4000] [--iters 40]
+//
+// The paper motivates Eq. (4) as "the most costly operations of the
+// conjugate gradient method used for least-squares computations". This
+// example runs the real thing: CGLS for min ||Ax - b||_2 where A is an ML
+// design matrix kept grammar-compressed end to end. Every CG step needs
+// one right multiplication (A p) and one left multiplication (A^t r) --
+// exactly the two kernels Theorems 3.4 and 3.10 provide, so the solver
+// never decompresses A.
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/gc_matrix.hpp"
+#include "matrix/datasets.hpp"
+#include "util/cli.hpp"
+#include "util/format.hpp"
+#include "util/memory_tracker.hpp"
+#include "util/timer.hpp"
+
+using namespace gcm;
+
+namespace {
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double Norm2(const std::vector<double>& a) { return std::sqrt(Dot(a, a)); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("least_squares_cg",
+                "CGLS on a grammar-compressed design matrix");
+  cli.AddFlag("dataset", "Census", "dataset profile to generate");
+  cli.AddFlag("rows", "4000", "training rows");
+  cli.AddFlag("iters", "40", "CG iterations");
+  if (!cli.Parse(argc, argv)) return 0;
+
+  const DatasetProfile& profile = DatasetByName(cli.GetString("dataset"));
+  DenseMatrix dense = GenerateDatasetRows(
+      profile, static_cast<std::size_t>(cli.GetInt("rows")));
+
+  // Synthesise a target b = A x* + noise from a known model x*.
+  Rng rng(12345);
+  std::vector<double> x_true(dense.cols());
+  for (auto& v : x_true) v = rng.NextGaussian();
+  std::vector<double> b = dense.MultiplyRight(x_true);
+  for (auto& v : b) v += 0.01 * rng.NextGaussian();
+
+  GcMatrix a = GcMatrix::FromDense(dense, {GcFormat::kReIv, 12, 0});
+  std::printf("design matrix %zux%zu: dense %s -> compressed %s (%.2f%%)\n",
+              a.rows(), a.cols(),
+              FormatBytes(dense.UncompressedBytes()).c_str(),
+              FormatBytes(a.CompressedBytes()).c_str(),
+              100.0 * static_cast<double>(a.CompressedBytes()) /
+                  static_cast<double>(dense.UncompressedBytes()));
+
+  // CGLS: minimizes ||Ax - b||; the normal equations A^tA x = A^t b are
+  // solved implicitly using only A p (right) and A^t r (left) products.
+  std::size_t iters = static_cast<std::size_t>(cli.GetInt("iters"));
+  std::vector<double> x(a.cols(), 0.0);
+  std::vector<double> r = b;                 // r = b - A x  (x = 0)
+  std::vector<double> s = a.MultiplyLeft(r);  // s = A^t r
+  std::vector<double> p = s;
+  double gamma = Dot(s, s);
+  Timer timer;
+  for (std::size_t k = 0; k < iters && gamma > 1e-24; ++k) {
+    std::vector<double> q = a.MultiplyRight(p);  // q = A p
+    double alpha = gamma / Dot(q, q);
+    for (std::size_t i = 0; i < x.size(); ++i) x[i] += alpha * p[i];
+    for (std::size_t i = 0; i < r.size(); ++i) r[i] -= alpha * q[i];
+    s = a.MultiplyLeft(r);                       // s = A^t r
+    double gamma_next = Dot(s, s);
+    double beta = gamma_next / gamma;
+    gamma = gamma_next;
+    for (std::size_t i = 0; i < p.size(); ++i) p[i] = s[i] + beta * p[i];
+    if ((k + 1) % 10 == 0 || k == 0) {
+      std::printf("  iter %3zu: ||A x - b|| = %.6e\n", k + 1, Norm2(r));
+    }
+  }
+  std::printf("CGLS finished in %s\n", FormatSeconds(timer.Seconds()).c_str());
+
+  // Report model recovery quality.
+  double model_err = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    model_err = std::max(model_err, std::fabs(x[i] - x_true[i]));
+  }
+  std::printf("max |x - x*| = %.4f (noise-limited; small = recovered)\n",
+              model_err);
+  std::printf("residual ||Ax-b|| = %.6e vs noise floor ~%.2e\n", Norm2(r),
+              0.01 * std::sqrt(static_cast<double>(a.rows())));
+  return 0;
+}

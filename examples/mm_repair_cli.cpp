@@ -1,0 +1,119 @@
+// mm-repair command-line tool: compress / decompress / multiply matrix
+// files, mirroring the utility programs shipped with the paper's original
+// repository (gitlab.com/manzai/mm-repair).
+//
+//   $ ./mm_repair_cli compress  input.dmat output.gcm [--format re_ans]
+//   $ ./mm_repair_cli decompress input.gcm output.dmat
+//   $ ./mm_repair_cli multiply  input.gcm            # Eq. (4) style loop
+//   $ ./mm_repair_cli info      input.gcm
+//
+// Matrix files use the library's binary formats (SaveDense/LoadDense);
+// create one with e.g. the model_server example or the library API.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "core/gc_matrix.hpp"
+#include "core/power_iteration.hpp"
+#include "encoding/byte_stream.hpp"
+#include "matrix/matrix_io.hpp"
+#include "util/cli.hpp"
+#include "util/format.hpp"
+
+using namespace gcm;
+
+namespace {
+
+constexpr u32 kGcmMagic = 0x314d4347;  // "GCM1"
+
+void SaveCompressed(const GcMatrix& matrix, const std::string& path) {
+  ByteWriter writer;
+  writer.Put<u32>(kGcmMagic);
+  writer.PutVector(matrix.dictionary());
+  matrix.Serialize(&writer);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  GCM_CHECK_MSG(out.good(), "cannot create " << path);
+  out.write(reinterpret_cast<const char*>(writer.buffer().data()),
+            static_cast<std::streamsize>(writer.size()));
+  GCM_CHECK_MSG(out.good(), "short write on " << path);
+}
+
+GcMatrix LoadCompressed(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  GCM_CHECK_MSG(in.good(), "cannot open " << path);
+  std::vector<u8> bytes((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+  ByteReader reader(bytes);
+  GCM_CHECK_MSG(reader.Get<u32>() == kGcmMagic,
+                path << " is not a compressed matrix file");
+  auto dictionary = std::make_shared<const std::vector<double>>(
+      reader.GetVector<double>());
+  return GcMatrix::Deserialize(&reader, dictionary);
+}
+
+int Usage() {
+  std::fputs(
+      "usage: mm_repair_cli <compress|decompress|multiply|info> <input> "
+      "[output] [--format csrv|re_32|re_iv|re_ans] [--iters N]\n",
+      stderr);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("mm_repair_cli", "compress/decompress/multiply matrices");
+  cli.AddFlag("format", "re_ans", "compression format for `compress`");
+  cli.AddFlag("iters", "100", "iterations for `multiply`");
+  if (!cli.Parse(argc, argv)) return 0;
+  if (cli.positional().size() < 2) return Usage();
+  const std::string& command = cli.positional()[0];
+  const std::string& input = cli.positional()[1];
+
+  try {
+    if (command == "compress") {
+      if (cli.positional().size() != 3) return Usage();
+      DenseMatrix dense = LoadDense(input);
+      GcBuildOptions options;
+      options.format = FormatByName(cli.GetString("format"));
+      GcMatrix compressed = GcMatrix::FromDense(dense, options);
+      SaveCompressed(compressed, cli.positional()[2]);
+      std::printf("%s: %s -> %s (%.2f%% of dense, format %s)\n",
+                  input.c_str(),
+                  FormatBytes(dense.UncompressedBytes()).c_str(),
+                  FormatBytes(compressed.CompressedBytes()).c_str(),
+                  100.0 * static_cast<double>(compressed.CompressedBytes()) /
+                      static_cast<double>(dense.UncompressedBytes()),
+                  FormatName(options.format));
+    } else if (command == "decompress") {
+      if (cli.positional().size() != 3) return Usage();
+      GcMatrix compressed = LoadCompressed(input);
+      SaveDense(compressed.ToDense(), cli.positional()[2]);
+      std::printf("restored %zux%zu dense matrix to %s\n", compressed.rows(),
+                  compressed.cols(), cli.positional()[2].c_str());
+    } else if (command == "multiply") {
+      GcMatrix compressed = LoadCompressed(input);
+      std::size_t iters = static_cast<std::size_t>(cli.GetInt("iters"));
+      PowerIterationResult result = RunPowerIteration(compressed, iters);
+      std::printf("%zu iterations of y=Mx; x=(y^tM)/|.|_inf : %.4f s/iter, "
+                  "peak %s\n",
+                  result.iterations, result.seconds_per_iteration,
+                  FormatBytes(result.peak_heap_bytes).c_str());
+    } else if (command == "info") {
+      GcMatrix compressed = LoadCompressed(input);
+      std::printf("%s: %zux%zu, format %s, |C|=%zu, |R|=%zu, |V|=%zu, %s\n",
+                  input.c_str(), compressed.rows(), compressed.cols(),
+                  FormatName(compressed.format()),
+                  compressed.final_sequence_length(),
+                  compressed.rule_count(), compressed.dictionary().size(),
+                  FormatBytes(compressed.CompressedBytes()).c_str());
+    } else {
+      return Usage();
+    }
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

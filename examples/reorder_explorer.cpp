@@ -1,0 +1,75 @@
+// Domain example: exploring column reordering for a data-warehouse export.
+//
+//   $ ./reorder_explorer [--dataset Airline78] [--rows 6000]
+//
+// Section 5 of the paper: ML and warehouse tables hide correlated columns
+// far apart from each other; putting them side by side makes the grammar
+// compressor much more effective. This walkthrough computes the
+// column-similarity matrix of a table, runs all four reordering
+// algorithms, and reports the adjacency score and the resulting re_ans
+// compressed size of each ordering -- the workflow a storage engineer
+// would use to choose a layout before archiving a table.
+
+#include <cstdio>
+
+#include "core/gc_matrix.hpp"
+#include "matrix/datasets.hpp"
+#include "reorder/reorder.hpp"
+#include "util/cli.hpp"
+#include "util/format.hpp"
+#include "util/timer.hpp"
+
+using namespace gcm;
+
+int main(int argc, char** argv) {
+  CliParser cli("reorder_explorer",
+                "compare column-reordering algorithms on one table");
+  cli.AddFlag("dataset", "Airline78", "dataset profile to generate");
+  cli.AddFlag("rows", "6000", "table rows");
+  cli.AddFlag("k", "16", "CSM local-pruning sparsity");
+  if (!cli.Parse(argc, argv)) return 0;
+
+  const DatasetProfile& profile = DatasetByName(cli.GetString("dataset"));
+  DenseMatrix table = GenerateDatasetRows(
+      profile, static_cast<std::size_t>(cli.GetInt("rows")));
+  u64 dense_bytes = table.UncompressedBytes();
+  std::printf("table %s: %zux%zu (%s dense)\n", profile.name.c_str(),
+              table.rows(), table.cols(),
+              FormatBytes(dense_bytes).c_str());
+
+  Timer csm_timer;
+  CsmOptions options;
+  options.prune = CsmPrune::kLocal;
+  options.k = static_cast<std::size_t>(cli.GetInt("k"));
+  options.row_sample = 1024;
+  ColumnSimilarityMatrix csm =
+      ColumnSimilarityMatrix::Compute(table, options);
+  std::printf("column-similarity matrix: %zu surviving pairs (k=%zu local "
+              "prune) in %s\n\n",
+              csm.edge_count(), options.k,
+              FormatSeconds(csm_timer.Seconds()).c_str());
+
+  std::printf("%-12s %12s %14s %12s %10s\n", "ordering", "adjacency",
+              "re_ans bytes", "% of dense", "time");
+  ReorderAlgorithm algorithms[] = {
+      ReorderAlgorithm::kIdentity, ReorderAlgorithm::kTsp,
+      ReorderAlgorithm::kPathCover, ReorderAlgorithm::kPathCoverPlus,
+      ReorderAlgorithm::kMwm};
+  for (ReorderAlgorithm algorithm : algorithms) {
+    Timer order_timer;
+    std::vector<u32> order = ComputeColumnOrder(csm, algorithm);
+    double order_seconds = order_timer.Seconds();
+    CsrvMatrix csrv = CsrvMatrix::FromDense(table, &order);
+    GcMatrix gc = GcMatrix::FromCsrv(csrv, {GcFormat::kReAns, 12, 0});
+    std::printf("%-12s %12.3f %14llu %11.2f%% %9.3fs\n",
+                ReorderName(algorithm), OrderScore(csm, order),
+                static_cast<unsigned long long>(gc.CompressedBytes()),
+                100.0 * static_cast<double>(gc.CompressedBytes()) /
+                    static_cast<double>(dense_bytes),
+                order_seconds);
+  }
+  std::printf("\nHigher adjacency scores should track smaller compressed "
+              "sizes; the multiplication\nresult is unchanged by any "
+              "ordering (pairs keep their original column ids).\n");
+  return 0;
+}

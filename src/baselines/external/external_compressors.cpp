@@ -1,0 +1,66 @@
+#include "baselines/external/external_compressors.hpp"
+
+#include <lzma.h>
+#include <zlib.h>
+
+namespace gcm {
+
+std::vector<u8> GzipCompress(const void* data, std::size_t size, int level) {
+  uLongf bound = compressBound(static_cast<uLong>(size));
+  std::vector<u8> out(bound);
+  int rc = compress2(out.data(), &bound, static_cast<const Bytef*>(data),
+                     static_cast<uLong>(size), level);
+  GCM_CHECK_MSG(rc == Z_OK, "zlib compress2 failed with code " << rc);
+  out.resize(bound);
+  return out;
+}
+
+std::vector<u8> GzipDecompress(const std::vector<u8>& compressed,
+                               std::size_t original_size) {
+  std::vector<u8> out(original_size);
+  uLongf out_size = static_cast<uLongf>(original_size);
+  int rc = uncompress(out.data(), &out_size, compressed.data(),
+                      static_cast<uLong>(compressed.size()));
+  GCM_CHECK_MSG(rc == Z_OK, "zlib uncompress failed with code " << rc);
+  GCM_CHECK_MSG(out_size == original_size,
+                "zlib uncompress produced unexpected size");
+  return out;
+}
+
+std::vector<u8> XzCompress(const void* data, std::size_t size, u32 preset) {
+  std::size_t bound = lzma_stream_buffer_bound(size);
+  std::vector<u8> out(bound);
+  std::size_t out_pos = 0;
+  lzma_ret rc = lzma_easy_buffer_encode(
+      preset, LZMA_CHECK_CRC32, nullptr, static_cast<const u8*>(data), size,
+      out.data(), &out_pos, bound);
+  GCM_CHECK_MSG(rc == LZMA_OK, "lzma encode failed with code " << rc);
+  out.resize(out_pos);
+  return out;
+}
+
+std::vector<u8> XzDecompress(const std::vector<u8>& compressed,
+                             std::size_t original_size) {
+  std::vector<u8> out(original_size);
+  std::size_t in_pos = 0, out_pos = 0;
+  u64 memlimit = ~0ULL;
+  lzma_ret rc = lzma_stream_buffer_decode(
+      &memlimit, 0, nullptr, compressed.data(), &in_pos, compressed.size(),
+      out.data(), &out_pos, original_size);
+  GCM_CHECK_MSG(rc == LZMA_OK, "lzma decode failed with code " << rc);
+  GCM_CHECK_MSG(out_pos == original_size,
+                "lzma decode produced unexpected size");
+  return out;
+}
+
+u64 GzipCompressedSize(const DenseMatrix& matrix, int level) {
+  return GzipCompress(matrix.data().data(), matrix.UncompressedBytes(), level)
+      .size();
+}
+
+u64 XzCompressedSize(const DenseMatrix& matrix, u32 preset) {
+  return XzCompress(matrix.data().data(), matrix.UncompressedBytes(), preset)
+      .size();
+}
+
+}  // namespace gcm

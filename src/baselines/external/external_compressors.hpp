@@ -1,0 +1,34 @@
+// gzip (zlib) and xz (liblzma) wrappers.
+//
+// Table 1 of the paper compares against gzip and xz applied to the raw
+// dense matrix bytes (rows*cols*8). These baselines only provide storage
+// compression -- any linear-algebra operation requires full decompression,
+// which is exactly the contrast the paper draws with the grammar formats.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "matrix/dense_matrix.hpp"
+#include "util/common.hpp"
+
+namespace gcm {
+
+/// Deflate-compresses `data`; level follows zlib conventions (default 6,
+/// matching `gzip` without flags as used in the paper).
+std::vector<u8> GzipCompress(const void* data, std::size_t size,
+                             int level = 6);
+std::vector<u8> GzipDecompress(const std::vector<u8>& compressed,
+                               std::size_t original_size);
+
+/// xz/LZMA2-compresses `data`; preset 6 matches `xz` without flags.
+std::vector<u8> XzCompress(const void* data, std::size_t size,
+                           u32 preset = 6);
+std::vector<u8> XzDecompress(const std::vector<u8>& compressed,
+                             std::size_t original_size);
+
+/// Compressed byte counts of the dense representation of `matrix`.
+u64 GzipCompressedSize(const DenseMatrix& matrix, int level = 6);
+u64 XzCompressedSize(const DenseMatrix& matrix, u32 preset = 6);
+
+}  // namespace gcm

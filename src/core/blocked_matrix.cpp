@@ -1,0 +1,105 @@
+#include "core/blocked_matrix.hpp"
+
+#include <algorithm>
+
+#include "matrix/csr.hpp"
+
+namespace gcm {
+
+BlockedGcMatrix BlockedGcMatrix::Build(
+    const DenseMatrix& dense, std::size_t blocks,
+    const GcBuildOptions& options,
+    const std::vector<std::vector<u32>>& block_orders) {
+  GCM_CHECK_MSG(blocks >= 1, "block count must be positive");
+  BlockedGcMatrix out;
+  out.rows_ = dense.rows();
+  out.cols_ = dense.cols();
+
+  auto dict = std::make_shared<const std::vector<double>>(
+      BuildValueDictionary(dense));
+
+  std::size_t rows_per_block =
+      std::max<std::size_t>(1, (dense.rows() + blocks - 1) / blocks);
+  std::size_t block_count = dense.rows() == 0
+                                ? 1
+                                : (dense.rows() + rows_per_block - 1) /
+                                      rows_per_block;
+  GCM_CHECK_MSG(block_orders.empty() || block_orders.size() == block_count,
+                "expected " << block_count << " block orders, got "
+                            << block_orders.size());
+
+  for (std::size_t b = 0; b < block_count; ++b) {
+    std::size_t row_begin = b * rows_per_block;
+    std::size_t row_end = std::min(dense.rows(), row_begin + rows_per_block);
+    const std::vector<u32>* order =
+        block_orders.empty() ? nullptr : &block_orders[b];
+    std::vector<u32> sequence =
+        BuildCsrvSequence(dense, row_begin, row_end, *dict, order);
+    out.row_offsets_.push_back(row_begin);
+    out.blocks_.push_back(GcMatrix::FromSequence(std::move(sequence),
+                                                 row_end - row_begin,
+                                                 dense.cols(), dict, options));
+  }
+  return out;
+}
+
+u64 BlockedGcMatrix::CompressedBytes() const {
+  u64 total = blocks_.empty()
+                  ? 0
+                  : blocks_.front().dictionary().size() * sizeof(double);
+  for (const GcMatrix& block : blocks_) total += block.PayloadBytes();
+  return total;
+}
+
+std::vector<double> BlockedGcMatrix::MultiplyRight(
+    const std::vector<double>& x, ThreadPool* pool) const {
+  GCM_CHECK_MSG(x.size() == cols_, "MultiplyRight: wrong vector length");
+  std::vector<double> y(rows_, 0.0);
+  auto run_block = [&](std::size_t b) {
+    std::vector<double> partial = blocks_[b].MultiplyRight(x);
+    std::copy(partial.begin(), partial.end(), y.begin() + row_offsets_[b]);
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(blocks_.size(), run_block);
+  } else {
+    for (std::size_t b = 0; b < blocks_.size(); ++b) run_block(b);
+  }
+  return y;
+}
+
+std::vector<double> BlockedGcMatrix::MultiplyLeft(const std::vector<double>& y,
+                                                  ThreadPool* pool) const {
+  GCM_CHECK_MSG(y.size() == rows_, "MultiplyLeft: wrong vector length");
+  std::vector<std::vector<double>> partials(blocks_.size());
+  auto run_block = [&](std::size_t b) {
+    std::vector<double> block_y(
+        y.begin() + row_offsets_[b],
+        y.begin() + row_offsets_[b] + blocks_[b].rows());
+    partials[b] = blocks_[b].MultiplyLeft(block_y);
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(blocks_.size(), run_block);
+  } else {
+    for (std::size_t b = 0; b < blocks_.size(); ++b) run_block(b);
+  }
+  std::vector<double> x(cols_, 0.0);
+  for (const std::vector<double>& partial : partials) {
+    for (std::size_t j = 0; j < cols_; ++j) x[j] += partial[j];
+  }
+  return x;
+}
+
+DenseMatrix BlockedGcMatrix::ToDense() const {
+  DenseMatrix dense(rows_, cols_);
+  for (std::size_t b = 0; b < blocks_.size(); ++b) {
+    DenseMatrix block = blocks_[b].ToDense();
+    for (std::size_t r = 0; r < block.rows(); ++r) {
+      for (std::size_t c = 0; c < cols_; ++c) {
+        dense.Set(row_offsets_[b] + r, c, block.At(r, c));
+      }
+    }
+  }
+  return dense;
+}
+
+}  // namespace gcm

@@ -1,0 +1,55 @@
+// Row-block partitioned grammar-compressed matrix (Section 4.1).
+//
+// A r x c matrix is split into b blocks of ceil(r/b) rows; every block is
+// compressed independently (its own C_i and R_i) while the dictionary V is
+// shared. Right multiplication runs the b block kernels independently;
+// left multiplication computes b partial column vectors and sums them.
+// Optionally each block can be built with its own column traversal order
+// (Section 5.3 reorders each block independently; results remain in
+// original column coordinates).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/gc_matrix.hpp"
+#include "matrix/dense_matrix.hpp"
+#include "util/thread_pool.hpp"
+
+namespace gcm {
+
+class BlockedGcMatrix {
+ public:
+  /// Compresses `dense` into `blocks` row blocks. If `block_orders` is
+  /// non-empty it must hold one column traversal order per block.
+  static BlockedGcMatrix Build(
+      const DenseMatrix& dense, std::size_t blocks,
+      const GcBuildOptions& options,
+      const std::vector<std::vector<u32>>& block_orders = {});
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t block_count() const { return blocks_.size(); }
+  const GcMatrix& block(std::size_t i) const { return blocks_[i]; }
+
+  /// Compressed bytes: all block payloads plus the shared dictionary once.
+  u64 CompressedBytes() const;
+
+  /// y = M x; runs blocks on `pool` when given (nullptr = sequential).
+  std::vector<double> MultiplyRight(const std::vector<double>& x,
+                                    ThreadPool* pool = nullptr) const;
+
+  /// x^t = y^t M; per-block partials summed after the parallel section.
+  std::vector<double> MultiplyLeft(const std::vector<double>& y,
+                                   ThreadPool* pool = nullptr) const;
+
+  DenseMatrix ToDense() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::size_t> row_offsets_;  ///< first row of each block
+  std::vector<GcMatrix> blocks_;
+};
+
+}  // namespace gcm

@@ -1,0 +1,112 @@
+#include "core/format_advisor.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/format.hpp"
+#include "util/timer.hpp"
+
+namespace gcm {
+namespace {
+
+constexpr GcFormat kFormats[] = {GcFormat::kCsrv, GcFormat::kRe32,
+                                 GcFormat::kReIv, GcFormat::kReAns};
+
+}  // namespace
+
+std::string AdvisorReport::ToString() const {
+  std::ostringstream os;
+  os << "format advisor (" << (any_fits ? "budget satisfiable" : "NO format fits the budget")
+     << "):\n";
+  for (const FormatEstimate& e : estimates) {
+    os << "  " << FormatName(e.format) << ": ~"
+       << FormatBytes(e.predicted_bytes) << " compressed, peak ~"
+       << FormatBytes(e.predicted_peak_bytes) << ", "
+       << FormatSeconds(e.predicted_seconds_per_iteration, 4) << "/iter"
+       << (e.fits_budget ? "" : "  [over budget]")
+       << (e.format == recommended ? "  <== recommended" : "") << "\n";
+  }
+  return os.str();
+}
+
+AdvisorReport AdviseFormat(const DenseMatrix& dense,
+                           const AdvisorConstraints& constraints) {
+  GCM_CHECK_MSG(dense.rows() > 0 && dense.cols() > 0,
+                "cannot advise on an empty matrix");
+  GCM_CHECK_MSG(constraints.blocks >= 1, "block count must be positive");
+  const std::size_t sample_rows =
+      std::min(dense.rows(),
+               std::max<std::size_t>(1, constraints.sample_rows));
+  DenseMatrix sample = sample_rows == dense.rows()
+                           ? dense
+                           : dense.RowSlice(0, sample_rows);
+  const double scale = static_cast<double>(dense.rows()) /
+                       static_cast<double>(sample_rows);
+  const u64 vector_bytes =
+      static_cast<u64>(dense.rows() + 2 * dense.cols()) * sizeof(double);
+
+  AdvisorReport report;
+  for (GcFormat format : kFormats) {
+    GcMatrix compressed = GcMatrix::FromDense(sample, {format, 12, 0});
+
+    FormatEstimate estimate;
+    estimate.format = format;
+    // Size: payload scales with rows; the dictionary does not (it is the
+    // distinct-value set, which saturates quickly).
+    u64 dict_bytes = compressed.dictionary().size() * sizeof(double);
+    estimate.predicted_bytes =
+        dict_bytes +
+        static_cast<u64>(static_cast<double>(compressed.PayloadBytes()) *
+                         scale);
+    // Peak: representation + one W array (rule_count doubles) per block
+    // (blocked builds split rules across blocks, so the total W footprint
+    // stays ~rule_count overall) + the dense vectors of Eq. (4).
+    u64 w_bytes = static_cast<u64>(
+        static_cast<double>(compressed.rule_count()) * scale *
+        sizeof(double));
+    estimate.predicted_peak_bytes =
+        estimate.predicted_bytes + w_bytes + vector_bytes;
+
+    // Speed: time one right+left pair on the sample and scale by rows.
+    std::vector<double> x(dense.cols(), 1.0);
+    Timer timer;
+    std::vector<double> y = compressed.MultiplyRight(x);
+    std::vector<double> z = compressed.MultiplyLeft(y);
+    (void)z;
+    double sample_seconds = timer.Seconds();
+    // Parallel blocks divide the wall clock by at most the block count
+    // (callers on single-core machines should pass blocks = 1).
+    estimate.predicted_seconds_per_iteration =
+        sample_seconds * scale / static_cast<double>(constraints.blocks);
+
+    estimate.fits_budget =
+        constraints.memory_budget_bytes == 0 ||
+        estimate.predicted_peak_bytes <= constraints.memory_budget_bytes;
+    report.estimates.push_back(estimate);
+  }
+
+  std::sort(report.estimates.begin(), report.estimates.end(),
+            [](const FormatEstimate& a, const FormatEstimate& b) {
+              return a.predicted_seconds_per_iteration <
+                     b.predicted_seconds_per_iteration;
+            });
+  for (const FormatEstimate& e : report.estimates) {
+    if (e.fits_budget) {
+      report.recommended = e.format;
+      report.any_fits = true;
+      break;
+    }
+  }
+  if (!report.any_fits) {
+    // Nothing fits: fall back to the smallest representation.
+    auto smallest = std::min_element(
+        report.estimates.begin(), report.estimates.end(),
+        [](const FormatEstimate& a, const FormatEstimate& b) {
+          return a.predicted_peak_bytes < b.predicted_peak_bytes;
+        });
+    report.recommended = smallest->format;
+  }
+  return report;
+}
+
+}  // namespace gcm

@@ -1,0 +1,482 @@
+#include "core/gc_matrix.hpp"
+
+#include <algorithm>
+
+namespace gcm {
+
+const char* FormatName(GcFormat format) {
+  switch (format) {
+    case GcFormat::kCsrv:
+      return "csrv";
+    case GcFormat::kRe32:
+      return "re_32";
+    case GcFormat::kReIv:
+      return "re_iv";
+    case GcFormat::kReAns:
+      return "re_ans";
+  }
+  return "?";
+}
+
+GcFormat FormatByName(const std::string& name) {
+  if (name == "csrv") return GcFormat::kCsrv;
+  if (name == "re_32") return GcFormat::kRe32;
+  if (name == "re_iv") return GcFormat::kReIv;
+  if (name == "re_ans") return GcFormat::kReAns;
+  GCM_CHECK_MSG(false, "unknown format: " << name);
+  return GcFormat::kRe32;
+}
+
+GcMatrix GcMatrix::FromSequence(std::vector<u32> sequence, std::size_t rows,
+                                std::size_t cols, SharedDict dict,
+                                const GcBuildOptions& options) {
+  GCM_CHECK(dict != nullptr);
+  GcMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.format_ = options.format;
+  m.dict_ = std::move(dict);
+  u64 alphabet = 1 + static_cast<u64>(m.dict_->size()) * cols;
+  GCM_CHECK_MSG(alphabet <= 0xffffffffULL, "CSRV alphabet overflow");
+  m.alphabet_size_ = static_cast<u32>(alphabet);
+
+  if (options.format == GcFormat::kCsrv) {
+    m.c_length_ = sequence.size();
+    m.rule_count_ = 0;
+    m.c_plain_ = std::move(sequence);
+    m.c_plain_.shrink_to_fit();  // stored long-term; drop growth slack
+    return m;
+  }
+
+  RePairConfig repair;
+  repair.forbidden_terminal = kCsrvSentinel;
+  repair.max_rules = options.max_rules;
+  RePairResult compressed =
+      RePairCompress(sequence, m.alphabet_size_, repair);
+  sequence.clear();
+  sequence.shrink_to_fit();
+
+  m.c_length_ = compressed.final_sequence.size();
+  m.rule_count_ = compressed.slp.rule_count();
+
+  // Flatten R as [left0, right0, left1, right1, ...].
+  std::vector<u32> flat_rules;
+  flat_rules.reserve(2 * m.rule_count_);
+  for (const SlpRule& rule : compressed.slp.rules()) {
+    flat_rules.push_back(rule.left);
+    flat_rules.push_back(rule.right);
+  }
+
+  // Pack both arrays with a single width 1+floor(log2(Nmax)) as in
+  // Section 4 (Nmax is the largest symbol id overall).
+  u32 max_symbol = m.alphabet_size_ - 1 + static_cast<u32>(m.rule_count_);
+  u32 width = BitWidth(max_symbol);
+
+  switch (options.format) {
+    case GcFormat::kRe32:
+      m.c_plain_ = std::move(compressed.final_sequence);
+      m.c_plain_.shrink_to_fit();  // stored long-term; drop growth slack
+      m.r_plain_ = std::move(flat_rules);
+      break;
+    case GcFormat::kReIv: {
+      m.c_packed_ = IntVector(compressed.final_sequence.size(), width);
+      for (std::size_t i = 0; i < compressed.final_sequence.size(); ++i) {
+        m.c_packed_.Set(i, compressed.final_sequence[i]);
+      }
+      m.r_packed_ = IntVector(flat_rules.size(), width);
+      for (std::size_t i = 0; i < flat_rules.size(); ++i) {
+        m.r_packed_.Set(i, flat_rules[i]);
+      }
+      break;
+    }
+    case GcFormat::kReAns: {
+      m.c_ans_ = RansEncode(compressed.final_sequence, options.fold_bits);
+      m.r_packed_ = IntVector(flat_rules.size(), width);
+      for (std::size_t i = 0; i < flat_rules.size(); ++i) {
+        m.r_packed_.Set(i, flat_rules[i]);
+      }
+      break;
+    }
+    case GcFormat::kCsrv:
+      GCM_ASSERT(false);
+      break;
+  }
+  return m;
+}
+
+GcMatrix GcMatrix::FromCsrv(const CsrvMatrix& csrv,
+                            const GcBuildOptions& options) {
+  auto dict = std::make_shared<const std::vector<double>>(csrv.dictionary());
+  return FromSequence(csrv.sequence(), csrv.rows(), csrv.cols(),
+                      std::move(dict), options);
+}
+
+GcMatrix GcMatrix::FromDense(const DenseMatrix& dense,
+                             const GcBuildOptions& options) {
+  return FromCsrv(CsrvMatrix::FromDense(dense), options);
+}
+
+GcMatrix GcMatrix::FromTriplets(std::size_t rows, std::size_t cols,
+                                std::vector<Triplet> entries,
+                                const GcBuildOptions& options) {
+  return FromCsrv(CsrvFromTriplets(rows, cols, std::move(entries)), options);
+}
+
+u64 GcMatrix::PayloadBytes() const {
+  switch (format_) {
+    case GcFormat::kCsrv:
+    case GcFormat::kRe32:
+      return c_plain_.size() * sizeof(u32) + r_plain_.size() * sizeof(u32);
+    case GcFormat::kReIv:
+      return c_packed_.SizeInBytes() + r_packed_.SizeInBytes();
+    case GcFormat::kReAns:
+      return c_ans_.SizeInBytes() + r_packed_.SizeInBytes();
+  }
+  return 0;
+}
+
+inline u32 GcMatrix::RuleLeft(std::size_t i) const {
+  return format_ == GcFormat::kRe32
+             ? r_plain_[2 * i]
+             : static_cast<u32>(r_packed_.Get(2 * i));
+}
+
+inline u32 GcMatrix::RuleRight(std::size_t i) const {
+  return format_ == GcFormat::kRe32
+             ? r_plain_[2 * i + 1]
+             : static_cast<u32>(r_packed_.Get(2 * i + 1));
+}
+
+template <typename F>
+void GcMatrix::ForEachFinalSymbol(F&& fn) const {
+  switch (format_) {
+    case GcFormat::kCsrv:
+    case GcFormat::kRe32:
+      for (u32 symbol : c_plain_) fn(symbol);
+      break;
+    case GcFormat::kReIv:
+      for (std::size_t i = 0; i < c_packed_.size(); ++i) {
+        fn(static_cast<u32>(c_packed_.Get(i)));
+      }
+      break;
+    case GcFormat::kReAns: {
+      RansDecoder decoder(c_ans_);
+      while (!decoder.AtEnd()) fn(decoder.Next());
+      break;
+    }
+  }
+}
+
+std::vector<double> GcMatrix::MultiplyRight(
+    const std::vector<double>& x) const {
+  GCM_CHECK_MSG(x.size() == cols_, "MultiplyRight: wrong vector length");
+  const std::vector<double>& dict = *dict_;
+  const u32 cols = static_cast<u32>(cols_);
+
+  // Forward pass over R: W[i] = eval_x(N_i) (Lemma 3.2; each side is either
+  // a terminal pair evaluated directly or an earlier nonterminal).
+  std::vector<double> w(rule_count_, 0.0);
+  auto eval = [&](u32 symbol) -> double {
+    if (symbol >= alphabet_size_) return w[symbol - alphabet_size_];
+    if (symbol == kCsrvSentinel) return 0.0;  // never occurs inside rules
+    u32 packed = symbol - 1;
+    return dict[packed / cols] * x[packed % cols];
+  };
+  for (std::size_t i = 0; i < rule_count_; ++i) {
+    w[i] = eval(RuleLeft(i)) + eval(RuleRight(i));
+  }
+
+  // Scan of C: accumulate per-row partial sums, closing a row at each
+  // sentinel (C may interleave terminals and nonterminals; Section 4).
+  std::vector<double> y(rows_, 0.0);
+  std::size_t row = 0;
+  double acc = 0.0;
+  ForEachFinalSymbol([&](u32 symbol) {
+    if (symbol == kCsrvSentinel) {
+      y[row++] = acc;
+      acc = 0.0;
+      return;
+    }
+    acc += eval(symbol);
+  });
+  GCM_CHECK_MSG(row == rows_, "compressed sequence closed " << row
+                                  << " rows, expected " << rows_);
+  return y;
+}
+
+std::vector<double> GcMatrix::MultiplyLeft(const std::vector<double>& y) const {
+  GCM_CHECK_MSG(y.size() == rows_, "MultiplyLeft: wrong vector length");
+  const std::vector<double>& dict = *dict_;
+  const u32 cols = static_cast<u32>(cols_);
+  std::vector<double> x(cols_, 0.0);
+
+  // Scan of C: seed W with row weights for nonterminals appearing in C;
+  // terminals in C contribute directly (Section 4's generalization).
+  std::vector<double> w(rule_count_, 0.0);
+  std::size_t row = 0;
+  ForEachFinalSymbol([&](u32 symbol) {
+    if (symbol == kCsrvSentinel) {
+      ++row;
+      return;
+    }
+    if (symbol >= alphabet_size_) {
+      w[symbol - alphabet_size_] += y[row];
+    } else {
+      u32 packed = symbol - 1;
+      x[packed % cols] += y[row] * dict[packed / cols];
+    }
+  });
+  GCM_CHECK_MSG(row == rows_, "compressed sequence closed " << row
+                                  << " rows, expected " << rows_);
+
+  // Backward pass over R (Lemma 3.9): when rule j is reached, W[j] already
+  // equals sum_y(N_j); push it into children or accumulate into x.
+  for (std::size_t j = rule_count_; j-- > 0;) {
+    double weight = w[j];
+    if (weight == 0.0) continue;
+    for (u32 symbol : {RuleLeft(j), RuleRight(j)}) {
+      if (symbol >= alphabet_size_) {
+        w[symbol - alphabet_size_] += weight;
+      } else {
+        u32 packed = symbol - 1;
+        x[packed % cols] += dict[packed / cols] * weight;
+      }
+    }
+  }
+  return x;
+}
+
+DenseMatrix GcMatrix::MultiplyRightMulti(const DenseMatrix& x) const {
+  GCM_CHECK_MSG(x.rows() == cols_,
+                "MultiplyRightMulti: X has " << x.rows() << " rows, expected "
+                                             << cols_);
+  const std::size_t k = x.cols();
+  const std::vector<double>& dict = *dict_;
+  const u32 cols = static_cast<u32>(cols_);
+
+  // W is rule_count x k, filled forward as in the single-vector kernel.
+  std::vector<double> w(rule_count_ * k, 0.0);
+  DenseMatrix y(rows_, k);
+  std::vector<double> acc(k, 0.0);
+  auto add_symbol = [&](u32 symbol, double* out) {
+    if (symbol >= alphabet_size_) {
+      const double* row = w.data() + static_cast<std::size_t>(
+                                         symbol - alphabet_size_) * k;
+      for (std::size_t t = 0; t < k; ++t) out[t] += row[t];
+      return;
+    }
+    if (symbol == kCsrvSentinel) return;
+    u32 packed = symbol - 1;
+    double value = dict[packed / cols];
+    const double* x_row = x.data().data() +
+                          static_cast<std::size_t>(packed % cols) * k;
+    for (std::size_t t = 0; t < k; ++t) out[t] += value * x_row[t];
+  };
+  for (std::size_t i = 0; i < rule_count_; ++i) {
+    double* row = w.data() + i * k;
+    add_symbol(RuleLeft(i), row);
+    add_symbol(RuleRight(i), row);
+  }
+  std::size_t row = 0;
+  ForEachFinalSymbol([&](u32 symbol) {
+    if (symbol == kCsrvSentinel) {
+      for (std::size_t t = 0; t < k; ++t) {
+        y.Set(row, t, acc[t]);
+        acc[t] = 0.0;
+      }
+      ++row;
+      return;
+    }
+    add_symbol(symbol, acc.data());
+  });
+  GCM_CHECK_MSG(row == rows_, "compressed sequence closed " << row
+                                  << " rows, expected " << rows_);
+  return y;
+}
+
+DenseMatrix GcMatrix::MultiplyLeftMulti(const DenseMatrix& x) const {
+  GCM_CHECK_MSG(x.cols() == rows_,
+                "MultiplyLeftMulti: X has " << x.cols()
+                                            << " columns, expected " << rows_);
+  const std::size_t k = x.rows();
+  const std::vector<double>& dict = *dict_;
+  const u32 cols = static_cast<u32>(cols_);
+  DenseMatrix out(k, cols_);
+  std::vector<double> w(rule_count_ * k, 0.0);
+
+  std::size_t row = 0;
+  auto scatter = [&](u32 symbol, const double* weights) {
+    if (symbol >= alphabet_size_) {
+      double* dest = w.data() + static_cast<std::size_t>(
+                                    symbol - alphabet_size_) * k;
+      for (std::size_t t = 0; t < k; ++t) dest[t] += weights[t];
+    } else {
+      u32 packed = symbol - 1;
+      double value = dict[packed / cols];
+      u32 column = packed % cols;
+      for (std::size_t t = 0; t < k; ++t) {
+        out.Set(t, column, out.At(t, column) + value * weights[t]);
+      }
+    }
+  };
+  std::vector<double> row_weights(k);
+  ForEachFinalSymbol([&](u32 symbol) {
+    if (symbol == kCsrvSentinel) {
+      ++row;
+      return;
+    }
+    for (std::size_t t = 0; t < k; ++t) row_weights[t] = x.At(t, row);
+    scatter(symbol, row_weights.data());
+  });
+  GCM_CHECK_MSG(row == rows_, "compressed sequence closed " << row
+                                  << " rows, expected " << rows_);
+  for (std::size_t j = rule_count_; j-- > 0;) {
+    const double* weights = w.data() + j * k;
+    bool all_zero = true;
+    for (std::size_t t = 0; t < k; ++t) {
+      if (weights[t] != 0.0) {
+        all_zero = false;
+        break;
+      }
+    }
+    if (all_zero) continue;
+    scatter(RuleLeft(j), weights);
+    scatter(RuleRight(j), weights);
+  }
+  return out;
+}
+
+std::vector<u32> GcMatrix::DecompressSequence() const {
+  // Rebuild the SLP and expand C.
+  Slp slp(alphabet_size_, {});
+  for (std::size_t i = 0; i < rule_count_; ++i) {
+    slp.AddRule(RuleLeft(i), RuleRight(i));
+  }
+  std::vector<u32> c;
+  c.reserve(c_length_);
+  ForEachFinalSymbol([&](u32 symbol) { c.push_back(symbol); });
+  return slp.ExpandSequence(c);
+}
+
+std::vector<double> GcMatrix::ExtractRow(std::size_t r) const {
+  GCM_CHECK_MSG(r < rows_, "row " << r << " out of range");
+  std::vector<double> row(cols_, 0.0);
+  const std::vector<double>& dict = *dict_;
+  std::size_t current = 0;
+  // Expand only the C symbols that belong to row r; everything before is
+  // skipped by sentinel counting, everything after is ignored.
+  std::vector<u32> stack;
+  ForEachFinalSymbol([&](u32 symbol) {
+    if (symbol == kCsrvSentinel) {
+      ++current;
+      return;
+    }
+    if (current != r) return;
+    stack.clear();
+    stack.push_back(symbol);
+    while (!stack.empty()) {
+      u32 top = stack.back();
+      stack.pop_back();
+      if (top >= alphabet_size_) {
+        std::size_t i = top - alphabet_size_;
+        stack.push_back(RuleRight(i));
+        stack.push_back(RuleLeft(i));
+        continue;
+      }
+      u32 packed = top - 1;
+      row[packed % cols_] = dict[packed / cols_];
+    }
+  });
+  return row;
+}
+
+DenseMatrix GcMatrix::ToDense() const {
+  std::vector<u32> sequence = DecompressSequence();
+  DenseMatrix dense(rows_, cols_);
+  std::size_t row = 0;
+  for (u32 symbol : sequence) {
+    if (symbol == kCsrvSentinel) {
+      ++row;
+      continue;
+    }
+    CsrvSymbol decoded = DecodeCsrvSymbol(symbol, cols_);
+    dense.Set(row, decoded.column, (*dict_)[decoded.value_id]);
+  }
+  return dense;
+}
+
+void GcMatrix::Serialize(ByteWriter* writer) const {
+  writer->Put<u8>(static_cast<u8>(format_));
+  writer->PutVarint(rows_);
+  writer->PutVarint(cols_);
+  writer->PutVarint(alphabet_size_);
+  writer->PutVarint(c_length_);
+  writer->PutVarint(rule_count_);
+  switch (format_) {
+    case GcFormat::kCsrv:
+    case GcFormat::kRe32:
+      writer->PutVector(c_plain_);
+      writer->PutVector(r_plain_);
+      break;
+    case GcFormat::kReIv:
+      writer->Put<u8>(static_cast<u8>(c_packed_.width()));
+      writer->PutVector(c_packed_.words());
+      writer->Put<u8>(static_cast<u8>(r_packed_.width()));
+      writer->PutVector(r_packed_.words());
+      break;
+    case GcFormat::kReAns:
+      c_ans_.Serialize(writer);
+      writer->Put<u8>(static_cast<u8>(r_packed_.width()));
+      writer->PutVector(r_packed_.words());
+      break;
+  }
+}
+
+GcMatrix GcMatrix::Deserialize(ByteReader* reader, SharedDict dict) {
+  GCM_CHECK(dict != nullptr);
+  GcMatrix m;
+  u8 format = reader->Get<u8>();
+  GCM_CHECK_MSG(format <= static_cast<u8>(GcFormat::kReAns),
+                "corrupt GcMatrix: bad format byte");
+  m.format_ = static_cast<GcFormat>(format);
+  m.rows_ = reader->GetVarint();
+  m.cols_ = reader->GetVarint();
+  m.alphabet_size_ = static_cast<u32>(reader->GetVarint());
+  m.c_length_ = reader->GetVarint();
+  m.rule_count_ = reader->GetVarint();
+  m.dict_ = std::move(dict);
+  u64 expected_alphabet = 1 + static_cast<u64>(m.dict_->size()) * m.cols_;
+  GCM_CHECK_MSG(m.alphabet_size_ == expected_alphabet,
+                "corrupt GcMatrix: alphabet/dictionary mismatch");
+  switch (m.format_) {
+    case GcFormat::kCsrv:
+    case GcFormat::kRe32: {
+      m.c_plain_ = reader->GetVector<u32>();
+      m.r_plain_ = reader->GetVector<u32>();
+      GCM_CHECK_MSG(m.c_plain_.size() == m.c_length_ &&
+                        m.r_plain_.size() == 2 * m.rule_count_,
+                    "corrupt GcMatrix: payload length mismatch");
+      break;
+    }
+    case GcFormat::kReIv: {
+      u8 c_width = reader->Get<u8>();
+      m.c_packed_.RestoreFrom(m.c_length_, c_width, reader->GetVector<u64>());
+      u8 r_width = reader->Get<u8>();
+      m.r_packed_.RestoreFrom(2 * m.rule_count_, r_width,
+                              reader->GetVector<u64>());
+      break;
+    }
+    case GcFormat::kReAns: {
+      m.c_ans_ = RansStream::Deserialize(reader);
+      GCM_CHECK_MSG(m.c_ans_.symbol_count == m.c_length_,
+                    "corrupt GcMatrix: ANS payload length mismatch");
+      u8 r_width = reader->Get<u8>();
+      m.r_packed_.RestoreFrom(2 * m.rule_count_, r_width,
+                              reader->GetVector<u64>());
+      break;
+    }
+  }
+  return m;
+}
+
+}  // namespace gcm

@@ -1,0 +1,89 @@
+// The paper's benchmark computation, Eq. (4) in Section 4.2:
+//
+//   y_i = M x_i,   z_i^t = y_i^t M,   x_{i+1} = z_i / ||z_i||_inf
+//
+// i.e. alternating right and left multiplications with an infinity-norm
+// rescale, mimicking the inner loop of conjugate-gradient style solvers.
+// The driver is generic over any matrix type exposing rows()/cols() and
+// MultiplyRight/MultiplyLeft (optionally with a ThreadPool argument).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "matrix/dense_matrix.hpp"
+#include "util/memory_tracker.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace gcm {
+
+struct PowerIterationResult {
+  std::vector<double> x;        ///< final normalized vector
+  std::size_t iterations = 0;
+  double seconds_total = 0.0;
+  double seconds_per_iteration = 0.0;
+  u64 peak_heap_bytes = 0;      ///< high-water heap mark over the run
+};
+
+namespace detail {
+
+// Dispatch: prefer the pool-taking overload when the matrix has one.
+template <typename M>
+concept PooledMatrix = requires(const M& m, const std::vector<double>& v,
+                                ThreadPool* pool) {
+  m.MultiplyRight(v, pool);
+};
+
+template <typename M>
+std::vector<double> Right(const M& m, const std::vector<double>& v,
+                          ThreadPool* pool) {
+  if constexpr (PooledMatrix<M>) {
+    return m.MultiplyRight(v, pool);
+  } else {
+    (void)pool;
+    return m.MultiplyRight(v);
+  }
+}
+
+template <typename M>
+std::vector<double> Left(const M& m, const std::vector<double>& v,
+                         ThreadPool* pool) {
+  if constexpr (PooledMatrix<M>) {
+    return m.MultiplyLeft(v, pool);
+  } else {
+    (void)pool;
+    return m.MultiplyLeft(v);
+  }
+}
+
+}  // namespace detail
+
+template <typename M>
+PowerIterationResult RunPowerIteration(const M& matrix, std::size_t iterations,
+                                       ThreadPool* pool = nullptr) {
+  PowerIterationResult result;
+  std::vector<double> x(matrix.cols(), 1.0);
+  MemoryTracker::ResetPeak();
+  Timer timer;
+  for (std::size_t i = 0; i < iterations; ++i) {
+    std::vector<double> y = detail::Right(matrix, x, pool);
+    std::vector<double> z = detail::Left(matrix, y, pool);
+    double norm = InfinityNorm(z);
+    if (norm == 0.0) {
+      x = std::move(z);  // matrix annihilated the vector; keep the zeros
+    } else {
+      for (double& v : z) v /= norm;
+      x = std::move(z);
+    }
+    ++result.iterations;
+  }
+  result.seconds_total = timer.Seconds();
+  result.seconds_per_iteration =
+      iterations == 0 ? 0.0 : result.seconds_total / iterations;
+  result.peak_heap_bytes = MemoryTracker::PeakBytes();
+  result.x = std::move(x);
+  return result;
+}
+
+}  // namespace gcm

@@ -1,0 +1,132 @@
+// Bounds-checked binary serialization streams.
+//
+// ByteWriter appends little-endian PODs and LEB128 varints to a growable
+// buffer; ByteReader consumes them and throws gcm::Error on truncation or
+// malformed varints, which the failure-injection tests rely on.
+#pragma once
+
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace gcm {
+
+class ByteWriter {
+ public:
+  template <typename T>
+  void Put(T value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::size_t offset = buffer_.size();
+    buffer_.resize(offset + sizeof(T));
+    std::memcpy(buffer_.data() + offset, &value, sizeof(T));
+  }
+
+  /// Unsigned LEB128 varint.
+  void PutVarint(u64 value) {
+    while (value >= 0x80) {
+      buffer_.push_back(static_cast<u8>(value) | 0x80);
+      value >>= 7;
+    }
+    buffer_.push_back(static_cast<u8>(value));
+  }
+
+  void PutBytes(const void* data, std::size_t size) {
+    std::size_t offset = buffer_.size();
+    buffer_.resize(offset + size);
+    std::memcpy(buffer_.data() + offset, data, size);
+  }
+
+  template <typename T>
+  void PutVector(const std::vector<T>& values) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    PutVarint(values.size());
+    PutBytes(values.data(), values.size() * sizeof(T));
+  }
+
+  void PutString(const std::string& value) {
+    PutVarint(value.size());
+    PutBytes(value.data(), value.size());
+  }
+
+  const std::vector<u8>& buffer() const { return buffer_; }
+  std::vector<u8> TakeBuffer() { return std::move(buffer_); }
+  std::size_t size() const { return buffer_.size(); }
+
+ private:
+  std::vector<u8> buffer_;
+};
+
+class ByteReader {
+ public:
+  ByteReader(const u8* data, std::size_t size) : data_(data), size_(size) {}
+  explicit ByteReader(const std::vector<u8>& buffer)
+      : ByteReader(buffer.data(), buffer.size()) {}
+
+  template <typename T>
+  T Get() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Require(sizeof(T));
+    T value;
+    std::memcpy(&value, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return value;
+  }
+
+  u64 GetVarint() {
+    u64 value = 0;
+    u32 shift = 0;
+    for (;;) {
+      Require(1);
+      u8 byte = data_[pos_++];
+      GCM_CHECK_MSG(shift < 64, "malformed varint (too long)");
+      value |= static_cast<u64>(byte & 0x7f) << shift;
+      if ((byte & 0x80) == 0) return value;
+      shift += 7;
+    }
+  }
+
+  void GetBytes(void* out, std::size_t size) {
+    Require(size);
+    std::memcpy(out, data_ + pos_, size);
+    pos_ += size;
+  }
+
+  template <typename T>
+  std::vector<T> GetVector() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    u64 count = GetVarint();
+    GCM_CHECK_MSG(count <= Remaining() / sizeof(T),
+                  "vector length " << count << " exceeds remaining bytes");
+    std::vector<T> values(count);
+    GetBytes(values.data(), count * sizeof(T));
+    return values;
+  }
+
+  std::string GetString() {
+    u64 count = GetVarint();
+    GCM_CHECK_MSG(count <= Remaining(), "string length exceeds buffer");
+    std::string value(count, '\0');
+    GetBytes(value.data(), count);
+    return value;
+  }
+
+  std::size_t pos() const { return pos_; }
+  std::size_t Remaining() const { return size_ - pos_; }
+  bool AtEnd() const { return pos_ == size_; }
+
+ private:
+  void Require(std::size_t bytes) {
+    GCM_CHECK_MSG(bytes <= size_ - pos_,
+                  "truncated stream: need " << bytes << " bytes at offset "
+                                            << pos_ << " of " << size_);
+  }
+
+  const u8* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace gcm

@@ -1,0 +1,81 @@
+// Large-alphabet semi-static rANS coder.
+//
+// The paper's `re_ans` variant compresses the RePair final sequence C with
+// the ans-fold entropy coder of Moffat & Petri (ACM TOIS 2020). This file
+// implements the same idea with a 64-bit range-variant ANS (rANS):
+//
+//   * Symbols below a cutoff 2^fold_bits get dedicated slots in the
+//     frequency model ("literal" slots).
+//   * Larger symbols are *folded*: a symbol v with b = floor(log2(v)) bits
+//     is coded as an escape slot identifying b, followed by the b low-order
+//     bits of v pushed into the ANS state as raw uniform bits. RePair
+//     assigns small ids to frequent nonterminals, so magnitude-based folding
+//     approximates frequency-based folding while keeping the model
+//     self-describing (no symbol table in the header).
+//
+// The model is semi-static: one frequency table, built from the input and
+// stored in the header, normalized to 2^kScaleBits. Decoding is strictly
+// sequential and forward, which is exactly what the compressed MVM kernel
+// needs when streaming over C.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "encoding/byte_stream.hpp"
+#include "util/common.hpp"
+
+namespace gcm {
+
+/// An encoded rANS stream plus the model needed to decode it.
+struct RansStream {
+  u32 fold_bits = 12;           ///< Symbols < 2^fold_bits get literal slots.
+  u64 symbol_count = 0;         ///< Number of symbols encoded.
+  std::vector<u16> freqs;       ///< Normalized slot frequencies (sum 2^14).
+  std::vector<u32> chunks;      ///< 32-bit payload, in decode order.
+
+  /// Total bytes attributable to this stream (payload + model header),
+  /// i.e. what counts as "compressed size" in the experiments.
+  u64 SizeInBytes() const;
+
+  void Serialize(ByteWriter* writer) const;
+  static RansStream Deserialize(ByteReader* reader);
+
+  bool operator==(const RansStream&) const = default;
+};
+
+/// Encodes a u32 symbol sequence. fold_bits must be in [1, 13].
+RansStream RansEncode(const std::vector<u32>& symbols, u32 fold_bits = 12);
+
+/// Streaming decoder over a RansStream. Not thread-safe; each thread of the
+/// multithreaded MVM kernel owns its own decoder over its own block stream.
+class RansDecoder {
+ public:
+  explicit RansDecoder(const RansStream& stream);
+
+  /// Number of symbols remaining.
+  u64 Remaining() const { return remaining_; }
+  bool AtEnd() const { return remaining_ == 0; }
+
+  /// Decodes the next symbol. Throws gcm::Error when exhausted or when the
+  /// stream is corrupt (payload underrun).
+  u32 Next();
+
+  /// Restarts decoding from the beginning of the stream.
+  void Reset();
+
+  /// Convenience: decodes the entire stream.
+  std::vector<u32> DecodeAll();
+
+ private:
+  u32 ReadChunk();
+
+  const RansStream& stream_;
+  std::vector<u16> slot_of_pos_;   ///< position in [0,2^14) -> slot id
+  std::vector<u32> cum_;           ///< cumulative frequencies per slot
+  u64 state_ = 0;
+  std::size_t chunk_pos_ = 0;
+  u64 remaining_ = 0;
+};
+
+}  // namespace gcm

@@ -1,0 +1,230 @@
+#include "grammar/repair.hpp"
+
+#include <queue>
+#include <unordered_map>
+
+namespace gcm {
+namespace {
+
+constexpr u32 kNoPos = 0xffffffffu;
+
+inline u64 PairKey(u32 a, u32 b) {
+  return (static_cast<u64>(a) << 32) | b;
+}
+
+/// Bookkeeping for one active pair: occurrence-list head and live count.
+struct PairRecord {
+  u32 head = kNoPos;
+  u32 count = 0;
+};
+
+/// Max-heap entry; lazily validated against the PairRecord count.
+struct HeapEntry {
+  u32 count;
+  u64 key;
+  bool operator<(const HeapEntry& other) const { return count < other.count; }
+};
+
+class RePairEngine {
+ public:
+  RePairEngine(const std::vector<u32>& input, u32 alphabet_size,
+               const RePairConfig& config)
+      : config_(config),
+        alphabet_(alphabet_size),
+        sym_(input),
+        prev_pos_(input.size(), kNoPos),
+        next_pos_(input.size(), kNoPos),
+        occ_prev_(input.size(), kNoPos),
+        occ_next_(input.size(), kNoPos) {
+    GCM_CHECK_MSG(config.min_frequency >= 2,
+                  "RePair min_frequency must be >= 2");
+    for (u32 v : input) {
+      GCM_CHECK_MSG(v < alphabet_, "input symbol " << v
+                                       << " outside alphabet of size "
+                                       << alphabet_);
+    }
+    slp_ = Slp(alphabet_, {});
+  }
+
+  RePairResult Run() {
+    InitLinks();
+    InitPairs();
+    ReplaceLoop();
+    RePairResult result;
+    result.final_sequence = CompactSequence();
+    result.slp = std::move(slp_);
+    return result;
+  }
+
+ private:
+  bool Forbidden(u32 symbol) const {
+    return config_.forbidden_terminal.has_value() &&
+           symbol == *config_.forbidden_terminal;
+  }
+
+  void InitLinks() {
+    const std::size_t n = sym_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      prev_pos_[i] = i == 0 ? kNoPos : static_cast<u32>(i - 1);
+      next_pos_[i] = i + 1 == n ? kNoPos : static_cast<u32>(i + 1);
+    }
+  }
+
+  /// Counts initial pairs, skipping overlaps in runs of equal symbols
+  /// ("aaa" holds one occurrence of (a,a), not two).
+  void InitPairs() {
+    u32 p = sym_.empty() ? kNoPos : 0;
+    bool prev_counted_overlap = false;
+    while (p != kNoPos && next_pos_[p] != kNoPos) {
+      u32 q = next_pos_[p];
+      u32 a = sym_[p];
+      u32 b = sym_[q];
+      bool skip = Forbidden(a) || Forbidden(b);
+      if (!skip && a == b && prev_counted_overlap &&
+          prev_pos_[p] != kNoPos && sym_[prev_pos_[p]] == a) {
+        // middle of a run whose previous occurrence was already counted
+        skip = true;
+        prev_counted_overlap = false;
+      } else if (!skip) {
+        AddOccurrence(p, a, b);
+        prev_counted_overlap = (a == b);
+      } else {
+        prev_counted_overlap = false;
+      }
+      p = q;
+    }
+  }
+
+  /// Links position p into the occurrence list of pair (a, b).
+  void AddOccurrence(u32 p, u32 a, u32 b) {
+    if (Forbidden(a) || Forbidden(b)) return;
+    u64 key = PairKey(a, b);
+    PairRecord& rec = pairs_[key];
+    occ_prev_[p] = kNoPos;
+    occ_next_[p] = rec.head;
+    if (rec.head != kNoPos) occ_prev_[rec.head] = p;
+    rec.head = p;
+    rec.count++;
+    if (rec.count >= config_.min_frequency) {
+      heap_.push({rec.count, key});
+    }
+  }
+
+  /// Unlinks position p from the occurrence list of pair (a, b).
+  void RemoveOccurrence(u32 p, u32 a, u32 b) {
+    if (Forbidden(a) || Forbidden(b)) return;
+    auto it = pairs_.find(PairKey(a, b));
+    if (it == pairs_.end()) return;
+    PairRecord& rec = it->second;
+    // p might not be linked (overlap-skipped at init); detect via links and
+    // head pointer.
+    if (rec.head == p) {
+      rec.head = occ_next_[p];
+      if (rec.head != kNoPos) occ_prev_[rec.head] = kNoPos;
+    } else if (occ_prev_[p] != kNoPos || occ_next_[p] != kNoPos) {
+      if (occ_prev_[p] != kNoPos) occ_next_[occ_prev_[p]] = occ_next_[p];
+      if (occ_next_[p] != kNoPos) occ_prev_[occ_next_[p]] = occ_prev_[p];
+    } else {
+      return;  // not linked anywhere
+    }
+    occ_prev_[p] = occ_next_[p] = kNoPos;
+    if (rec.count > 0) rec.count--;
+    if (rec.count == 0) pairs_.erase(it);
+  }
+
+  void ReplaceLoop() {
+    while (!heap_.empty()) {
+      if (config_.max_rules != 0 && slp_.rule_count() >= config_.max_rules) {
+        break;
+      }
+      HeapEntry entry = heap_.top();
+      heap_.pop();
+      auto it = pairs_.find(entry.key);
+      if (it == pairs_.end()) continue;
+      u32 current = it->second.count;
+      if (current < config_.min_frequency) continue;
+      if (current != entry.count) {
+        // Stale priority: re-push with the live count so the pair is not
+        // lost, then re-evaluate.
+        heap_.push({current, entry.key});
+        continue;
+      }
+      ReplacePair(static_cast<u32>(entry.key >> 32),
+                  static_cast<u32>(entry.key & 0xffffffffu));
+    }
+  }
+
+  /// Replaces every live occurrence of (a, b) with a fresh nonterminal.
+  void ReplacePair(u32 a, u32 b) {
+    u64 key = PairKey(a, b);
+    u32 fresh = slp_.AddRule(a, b);
+    // Consume occurrences one at a time from the live head. Every unlink
+    // goes through RemoveOccurrence so that neighbour edits performed by
+    // ReplaceAt (which may unlink *pending* occurrences of this very pair,
+    // e.g. in runs of equal symbols) keep the list consistent; detaching
+    // the list wholesale would let ReplaceAt re-link a pending position
+    // into another pair's list and corrupt the walk.
+    for (;;) {
+      auto it = pairs_.find(key);
+      if (it == pairs_.end() || it->second.head == kNoPos) break;
+      u32 p = it->second.head;
+      RemoveOccurrence(p, a, b);
+      ReplaceAt(p, a, b, fresh);
+    }
+    pairs_.erase(key);  // in case a zero-count record lingers
+  }
+
+  void ReplaceAt(u32 p, u32 a, u32 b, u32 fresh) {
+    // Re-verify: earlier replacements in this walk (overlaps in equal-symbol
+    // runs) may have invalidated this occurrence.
+    if (sym_[p] != a) return;
+    u32 q = next_pos_[p];
+    if (q == kNoPos || sym_[q] != b) return;
+
+    u32 l = prev_pos_[p];
+    u32 r = next_pos_[q];
+
+    // Neighbouring pairs disappear.
+    if (l != kNoPos) RemoveOccurrence(l, sym_[l], a);
+    if (r != kNoPos) RemoveOccurrence(q, b, sym_[r]);
+
+    // Splice q out and substitute the nonterminal at p.
+    sym_[p] = fresh;
+    sym_[q] = kNoPos;  // tombstone
+    next_pos_[p] = r;
+    if (r != kNoPos) prev_pos_[r] = p;
+
+    // New neighbouring pairs appear.
+    if (l != kNoPos) AddOccurrence(l, sym_[l], fresh);
+    if (r != kNoPos) AddOccurrence(p, fresh, sym_[r]);
+  }
+
+  std::vector<u32> CompactSequence() const {
+    std::vector<u32> out;
+    for (u32 p = sym_.empty() ? kNoPos : 0; p != kNoPos; p = next_pos_[p]) {
+      out.push_back(sym_[p]);
+    }
+    return out;
+  }
+
+  RePairConfig config_;
+  u32 alphabet_;
+  Slp slp_;
+  std::vector<u32> sym_;
+  std::vector<u32> prev_pos_;
+  std::vector<u32> next_pos_;
+  std::vector<u32> occ_prev_;
+  std::vector<u32> occ_next_;
+  std::unordered_map<u64, PairRecord> pairs_;
+  std::priority_queue<HeapEntry> heap_;
+};
+
+}  // namespace
+
+RePairResult RePairCompress(const std::vector<u32>& input, u32 alphabet_size,
+                            const RePairConfig& config) {
+  RePairEngine engine(input, alphabet_size, config);
+  return engine.Run();
+}
+
+}  // namespace gcm

@@ -1,0 +1,56 @@
+// RePair grammar compression (Larsson & Moffat, Proc. IEEE 2000) over u32
+// sequences, with the paper's modification: a designated *forbidden*
+// terminal (the CSRV row sentinel `$`) never appears in any rule, so every
+// nonterminal expands to a run of pairs within a single row (Section 3).
+//
+// The implementation follows the classic scheme: the sequence lives in a
+// doubly-linked array with tombstones; each position is the head of at most
+// one pair occurrence, and occurrences of equal pairs are threaded through
+// per-position links so a pair's occurrence list can be walked and
+// incrementally updated in O(1) per edit. Pair priorities use a lazy
+// max-heap: entries are (count, pair); a popped entry whose count is stale
+// is re-pushed with the current count, which preserves the max-pair
+// invariant with O(log n) amortized cost per update.
+//
+// RePair stops when no pair occurs twice (or when `max_rules` is hit); the
+// final sequence may therefore contain terminals and is generally longer
+// than one symbol per row, exactly as discussed in Section 4.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "grammar/slp.hpp"
+#include "util/common.hpp"
+
+namespace gcm {
+
+struct RePairConfig {
+  /// Terminal that must not appear in any rule (e.g. kCsrvSentinel).
+  /// nullopt disables the exclusion.
+  std::optional<u32> forbidden_terminal;
+
+  /// Hard cap on the number of rules (0 = unlimited). Used by ablations.
+  std::size_t max_rules = 0;
+
+  /// Only replace pairs occurring at least this many times (>= 2).
+  std::size_t min_frequency = 2;
+};
+
+struct RePairResult {
+  Slp slp;                          ///< the rule set R
+  std::vector<u32> final_sequence;  ///< the final string C
+
+  /// |C| + 2|R|, the paper's count of integers in the naive representation.
+  u64 IntegerCount() const {
+    return final_sequence.size() + 2 * slp.rule_count();
+  }
+};
+
+/// Compresses `input` (symbols must be < alphabet_size) into an SLP plus
+/// final sequence whose expansion reproduces `input` exactly.
+RePairResult RePairCompress(const std::vector<u32>& input, u32 alphabet_size,
+                            const RePairConfig& config = {});
+
+}  // namespace gcm

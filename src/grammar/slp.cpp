@@ -1,0 +1,75 @@
+#include "grammar/slp.hpp"
+
+namespace gcm {
+
+std::vector<u64> Slp::ExpansionLengths() const {
+  std::vector<u64> lengths(rules_.size());
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    const SlpRule& rule = rules_[i];
+    u64 left = IsTerminal(rule.left) ? 1 : lengths[RuleIndex(rule.left)];
+    u64 right = IsTerminal(rule.right) ? 1 : lengths[RuleIndex(rule.right)];
+    lengths[i] = left + right;
+  }
+  return lengths;
+}
+
+void Slp::Expand(u32 symbol, std::vector<u32>* out) const {
+  GCM_CHECK(out != nullptr);
+  GCM_CHECK_MSG(symbol < symbol_limit(), "symbol out of range");
+  // Explicit stack; grammars can be deep (a chain rule per level).
+  std::vector<u32> stack;
+  stack.push_back(symbol);
+  while (!stack.empty()) {
+    u32 top = stack.back();
+    stack.pop_back();
+    if (IsTerminal(top)) {
+      out->push_back(top);
+      continue;
+    }
+    const SlpRule& rule = RuleFor(top);
+    stack.push_back(rule.right);  // right pushed first so left pops first
+    stack.push_back(rule.left);
+  }
+}
+
+std::vector<u32> Slp::ExpandSequence(const std::vector<u32>& sequence) const {
+  std::vector<u32> out;
+  for (u32 symbol : sequence) Expand(symbol, &out);
+  return out;
+}
+
+void Slp::Validate() const {
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    u32 limit = alphabet_size_ + static_cast<u32>(i);
+    GCM_CHECK_MSG(rules_[i].left < limit && rules_[i].right < limit,
+                  "SLP rule " << i << " violates topological order");
+  }
+}
+
+void Slp::Serialize(ByteWriter* writer) const {
+  writer->PutVarint(alphabet_size_);
+  writer->PutVarint(rules_.size());
+  // Delta-free plain encoding: rule sides are already near-random pairs.
+  for (const SlpRule& rule : rules_) {
+    writer->PutVarint(rule.left);
+    writer->PutVarint(rule.right);
+  }
+}
+
+Slp Slp::Deserialize(ByteReader* reader) {
+  Slp slp;
+  slp.alphabet_size_ = static_cast<u32>(reader->GetVarint());
+  u64 count = reader->GetVarint();
+  slp.rules_.reserve(count);
+  for (u64 i = 0; i < count; ++i) {
+    u32 left = static_cast<u32>(reader->GetVarint());
+    u32 right = static_cast<u32>(reader->GetVarint());
+    u32 limit = slp.alphabet_size_ + static_cast<u32>(i);
+    GCM_CHECK_MSG(left < limit && right < limit,
+                  "corrupt SLP: rule " << i << " out of order");
+    slp.rules_.push_back({left, right});
+  }
+  return slp;
+}
+
+}  // namespace gcm

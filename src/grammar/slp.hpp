@@ -1,0 +1,91 @@
+// Straight-line program (SLP) grammar representation -- Section 3.
+//
+// Symbol space convention used across the project:
+//   * terminals are the integers [0, alphabet_size);
+//   * nonterminal N_i (0-based) is the integer alphabet_size + i.
+// Rule i defines N_i -> (left, right) where both sides are symbols smaller
+// than alphabet_size + i, giving the topological ordering the MVM
+// algorithms rely on (a single forward pass can evaluate every rule, a
+// single backward pass can propagate row sums).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "encoding/byte_stream.hpp"
+#include "util/common.hpp"
+
+namespace gcm {
+
+struct SlpRule {
+  u32 left;
+  u32 right;
+
+  bool operator==(const SlpRule&) const = default;
+};
+
+class Slp {
+ public:
+  Slp() = default;
+  Slp(u32 alphabet_size, std::vector<SlpRule> rules)
+      : alphabet_size_(alphabet_size), rules_(std::move(rules)) {}
+
+  u32 alphabet_size() const { return alphabet_size_; }
+  const std::vector<SlpRule>& rules() const { return rules_; }
+  std::size_t rule_count() const { return rules_.size(); }
+
+  /// First symbol id that is a nonterminal.
+  u32 nonterminal_base() const { return alphabet_size_; }
+  /// Largest valid symbol id + 1.
+  u32 symbol_limit() const {
+    return alphabet_size_ + static_cast<u32>(rules_.size());
+  }
+
+  bool IsTerminal(u32 symbol) const { return symbol < alphabet_size_; }
+
+  /// Index of the rule defining `symbol` (which must be a nonterminal).
+  u32 RuleIndex(u32 symbol) const {
+    GCM_ASSERT(!IsTerminal(symbol));
+    return symbol - alphabet_size_;
+  }
+
+  const SlpRule& RuleFor(u32 symbol) const { return rules_[RuleIndex(symbol)]; }
+
+  /// Appends a rule; returns the new nonterminal's symbol id. Both sides
+  /// must already be valid symbols (enforces topological order).
+  u32 AddRule(u32 left, u32 right) {
+    GCM_CHECK_MSG(left < symbol_limit() && right < symbol_limit(),
+                  "SLP rule references undefined symbol");
+    rules_.push_back({left, right});
+    return symbol_limit() - 1;
+  }
+
+  /// Expansion length of each nonterminal (index = rule index), computed in
+  /// one forward pass.
+  std::vector<u64> ExpansionLengths() const;
+
+  /// Fully expands `symbol` into terminals, appending to `out`
+  /// (iterative; no recursion depth limit).
+  void Expand(u32 symbol, std::vector<u32>* out) const;
+
+  /// Expands a sequence of symbols (e.g. the RePair final sequence C).
+  std::vector<u32> ExpandSequence(const std::vector<u32>& sequence) const;
+
+  /// Sum of right-hand side lengths = 2 * rule_count() for an SLP; kept as
+  /// a method because the paper defines grammar size this way.
+  u64 GrammarSize() const { return 2 * static_cast<u64>(rules_.size()); }
+
+  /// Checks the topological-order invariant; throws on violation.
+  void Validate() const;
+
+  void Serialize(ByteWriter* writer) const;
+  static Slp Deserialize(ByteReader* reader);
+
+  bool operator==(const Slp&) const = default;
+
+ private:
+  u32 alphabet_size_ = 0;
+  std::vector<SlpRule> rules_;
+};
+
+}  // namespace gcm

@@ -1,0 +1,157 @@
+#include "matrix/csr.hpp"
+
+#include <algorithm>
+
+namespace gcm {
+
+std::vector<double> BuildValueDictionary(const DenseMatrix& dense) {
+  std::vector<double> values;
+  values.reserve(dense.data().size());
+  for (double v : dense.data()) {
+    if (v != 0.0) values.push_back(v);
+  }
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  values.shrink_to_fit();  // the reserve() above was sized for all non-zeros
+  return values;
+}
+
+CsrMatrix CsrMatrix::FromDense(const DenseMatrix& dense) {
+  CsrMatrix csr;
+  csr.rows_ = dense.rows();
+  csr.cols_ = dense.cols();
+  csr.first_.reserve(dense.rows() + 1);
+  csr.first_.push_back(0);
+  for (std::size_t r = 0; r < dense.rows(); ++r) {
+    for (std::size_t c = 0; c < dense.cols(); ++c) {
+      double v = dense.At(r, c);
+      if (v == 0.0) continue;
+      csr.nz_.push_back(v);
+      csr.idx_.push_back(static_cast<u32>(c));
+    }
+    csr.first_.push_back(static_cast<u32>(csr.nz_.size()));
+  }
+  return csr;
+}
+
+CsrMatrix CsrMatrix::FromParts(std::size_t rows, std::size_t cols,
+                               std::vector<double> nz, std::vector<u32> idx,
+                               std::vector<u32> first) {
+  GCM_CHECK_MSG(first.size() == rows + 1, "CSR offsets must have rows+1");
+  GCM_CHECK_MSG(first.front() == 0 && first.back() == nz.size(),
+                "CSR offsets must span the value array");
+  GCM_CHECK_MSG(nz.size() == idx.size(), "CSR value/index length mismatch");
+  for (std::size_t r = 0; r < rows; ++r) {
+    GCM_CHECK_MSG(first[r] <= first[r + 1], "CSR offsets must be monotone");
+  }
+  for (u32 c : idx) {
+    GCM_CHECK_MSG(c < cols, "CSR column index out of range");
+  }
+  CsrMatrix csr;
+  csr.rows_ = rows;
+  csr.cols_ = cols;
+  csr.nz_ = std::move(nz);
+  csr.idx_ = std::move(idx);
+  csr.first_ = std::move(first);
+  return csr;
+}
+
+std::vector<double> CsrMatrix::MultiplyRight(
+    const std::vector<double>& x) const {
+  GCM_CHECK(x.size() == cols_);
+  std::vector<double> y(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (u32 k = first_[r]; k < first_[r + 1]; ++k) {
+      acc += nz_[k] * x[idx_[k]];
+    }
+    y[r] = acc;
+  }
+  return y;
+}
+
+std::vector<double> CsrMatrix::MultiplyLeft(
+    const std::vector<double>& y) const {
+  GCM_CHECK(y.size() == rows_);
+  std::vector<double> x(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double scale = y[r];
+    if (scale == 0.0) continue;
+    for (u32 k = first_[r]; k < first_[r + 1]; ++k) {
+      x[idx_[k]] += scale * nz_[k];
+    }
+  }
+  return x;
+}
+
+DenseMatrix CsrMatrix::ToDense() const {
+  DenseMatrix dense(rows_, cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (u32 k = first_[r]; k < first_[r + 1]; ++k) {
+      dense.Set(r, idx_[k], nz_[k]);
+    }
+  }
+  return dense;
+}
+
+CsrIvMatrix CsrIvMatrix::FromDense(const DenseMatrix& dense) {
+  CsrIvMatrix csr;
+  csr.rows_ = dense.rows();
+  csr.cols_ = dense.cols();
+  csr.dictionary_ = BuildValueDictionary(dense);
+  csr.first_.reserve(dense.rows() + 1);
+  csr.first_.push_back(0);
+  for (std::size_t r = 0; r < dense.rows(); ++r) {
+    for (std::size_t c = 0; c < dense.cols(); ++c) {
+      double v = dense.At(r, c);
+      if (v == 0.0) continue;
+      auto it = std::lower_bound(csr.dictionary_.begin(),
+                                 csr.dictionary_.end(), v);
+      csr.value_ids_.push_back(
+          static_cast<u32>(it - csr.dictionary_.begin()));
+      csr.idx_.push_back(static_cast<u32>(c));
+    }
+    csr.first_.push_back(static_cast<u32>(csr.value_ids_.size()));
+  }
+  return csr;
+}
+
+std::vector<double> CsrIvMatrix::MultiplyRight(
+    const std::vector<double>& x) const {
+  GCM_CHECK(x.size() == cols_);
+  std::vector<double> y(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (u32 k = first_[r]; k < first_[r + 1]; ++k) {
+      acc += dictionary_[value_ids_[k]] * x[idx_[k]];
+    }
+    y[r] = acc;
+  }
+  return y;
+}
+
+std::vector<double> CsrIvMatrix::MultiplyLeft(
+    const std::vector<double>& y) const {
+  GCM_CHECK(y.size() == rows_);
+  std::vector<double> x(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double scale = y[r];
+    if (scale == 0.0) continue;
+    for (u32 k = first_[r]; k < first_[r + 1]; ++k) {
+      x[idx_[k]] += scale * dictionary_[value_ids_[k]];
+    }
+  }
+  return x;
+}
+
+DenseMatrix CsrIvMatrix::ToDense() const {
+  DenseMatrix dense(rows_, cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (u32 k = first_[r]; k < first_[r + 1]; ++k) {
+      dense.Set(r, idx_[k], dictionary_[value_ids_[k]]);
+    }
+  }
+  return dense;
+}
+
+}  // namespace gcm

@@ -1,0 +1,91 @@
+// Classical Compressed Sparse Row (CSR) and its indexed-value variant
+// (CSR-IV, Kourtis et al.), included as comparison substrates (Section 2 of
+// the paper discusses both as the starting point for CSRV).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "matrix/dense_matrix.hpp"
+#include "util/common.hpp"
+
+namespace gcm {
+
+/// CSR: nz (values row-by-row), idx (column of each value), first (prefix
+/// counts per row; length rows+1 here, the usual offset convention).
+class CsrMatrix {
+ public:
+  static CsrMatrix FromDense(const DenseMatrix& dense);
+
+  /// Assembles from prebuilt arrays (sparse ingestion); first must have
+  /// rows+1 monotone offsets ending at nz.size().
+  static CsrMatrix FromParts(std::size_t rows, std::size_t cols,
+                             std::vector<double> nz, std::vector<u32> idx,
+                             std::vector<u32> first);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t nonzeros() const { return nz_.size(); }
+
+  std::vector<double> MultiplyRight(const std::vector<double>& x) const;
+  std::vector<double> MultiplyLeft(const std::vector<double>& y) const;
+
+  DenseMatrix ToDense() const;
+
+  /// 8 bytes per value + 4 per column index + 4 per row offset.
+  u64 SizeInBytes() const {
+    return nz_.size() * sizeof(double) + idx_.size() * sizeof(u32) +
+           first_.size() * sizeof(u32);
+  }
+
+  const std::vector<double>& nz() const { return nz_; }
+  const std::vector<u32>& idx() const { return idx_; }
+  const std::vector<u32>& first() const { return first_; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> nz_;
+  std::vector<u32> idx_;
+  std::vector<u32> first_;
+};
+
+/// CSR-IV: like CSR but nz holds indices into a dictionary V of distinct
+/// non-zero values; pays off when the dictionary is small.
+class CsrIvMatrix {
+ public:
+  static CsrIvMatrix FromDense(const DenseMatrix& dense);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t nonzeros() const { return value_ids_.size(); }
+  std::size_t distinct_values() const { return dictionary_.size(); }
+
+  std::vector<double> MultiplyRight(const std::vector<double>& x) const;
+  std::vector<double> MultiplyLeft(const std::vector<double>& y) const;
+
+  DenseMatrix ToDense() const;
+
+  /// 4 bytes per value id + 4 per column index + 4 per row offset + 8 per
+  /// dictionary entry.
+  u64 SizeInBytes() const {
+    return value_ids_.size() * sizeof(u32) + idx_.size() * sizeof(u32) +
+           first_.size() * sizeof(u32) + dictionary_.size() * sizeof(double);
+  }
+
+  const std::vector<double>& dictionary() const { return dictionary_; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<u32> value_ids_;
+  std::vector<u32> idx_;
+  std::vector<u32> first_;
+  std::vector<double> dictionary_;
+};
+
+/// Builds the sorted dictionary of distinct non-zero values of a dense
+/// matrix; shared by CSR-IV and CSRV construction.
+std::vector<double> BuildValueDictionary(const DenseMatrix& dense);
+
+}  // namespace gcm

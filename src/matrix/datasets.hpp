@@ -1,0 +1,83 @@
+// Synthetic replicas of the paper's seven evaluation matrices.
+//
+// The originals (UCI / Kaggle: Susy, Higgs, Airline78, Covtype, Census,
+// Optical, Mnist2m) are not available offline, so each dataset is replaced
+// by a generator matched to the statistics the paper reports in Table 1 --
+// shape, non-zero density, distinct-value profile -- plus a latent
+// column-group model that reproduces the *correlation structure* the paper
+// exploits: ML matrices contain groups of correlated columns whose value
+// combinations repeat across rows, and those groups are scattered over the
+// column order.
+//
+// Generator model, per dataset profile:
+//   * A fraction of columns is "continuous": every non-zero is a fresh
+//     draw, so no two rows repeat (this is what makes Susy incompressible
+//     for RePair, matching the paper).
+//   * The remaining columns are partitioned into latent groups of
+//     `group_size` columns, scattered across the column order. Each group
+//     owns `patterns_per_group` templates assigning each member column a
+//     dictionary value or zero; a row picks one template per group
+//     (skew-distributed) and mutates each entry with probability `noise`.
+//     Repetition of templates across rows is exactly what RePair turns into
+//     grammar rules, and scattered groups are what column reordering
+//     (Section 5) recovers.
+//
+// Every generator is deterministic (seeded from the profile name), so all
+// tests and benches see identical matrices.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "matrix/dense_matrix.hpp"
+#include "util/common.hpp"
+
+namespace gcm {
+
+struct DatasetProfile {
+  std::string name;
+  std::size_t paper_rows;       ///< rows of the original matrix (Table 1)
+  std::size_t cols;             ///< columns (kept exact; reordering needs it)
+  double density;               ///< fraction of non-zero entries
+  double continuous_fraction;   ///< fraction of columns with fresh values
+  double continuous_distinct_ratio;  ///< target distinct/nonzero ratio for
+                                     ///< continuous columns (Table 1 gives
+                                     ///< 0.23 for Susy, 0.03 for Higgs,
+                                     ///< 0.016 for Optical); 0 = unbounded
+  std::size_t dictionary_size;  ///< distinct values for categorical columns
+  std::size_t group_size;       ///< columns per latent correlated group
+  std::size_t patterns_per_group;  ///< templates per group
+  double pattern_skew;          ///< geometric decay of template popularity
+  double noise;                 ///< per-entry mutation probability
+  double row_template_prob;     ///< probability a row reuses a full-row
+                                ///< template (whole-row repetition; this is
+                                ///< what deep grammar sharing feeds on)
+  std::size_t row_template_pool;  ///< number of full-row templates
+
+  // Reference values from the paper's Table 1, used by EXPERIMENTS.md and
+  // the bench headers (not by the generator itself).
+  double paper_gzip_pct;
+  double paper_xz_pct;
+  double paper_csrv_pct;
+  double paper_re32_pct;
+  double paper_reiv_pct;
+  double paper_reans_pct;
+};
+
+/// The seven profiles of the paper's evaluation, in Table 1 order.
+const std::vector<DatasetProfile>& PaperDatasets();
+
+/// Finds a profile by (case-sensitive) name; throws if unknown.
+const DatasetProfile& DatasetByName(const std::string& name);
+
+/// Generates the dataset at 1/scale_divisor of the paper's row count
+/// (at least 512 rows). scale_divisor == 1 reproduces the full row count.
+DenseMatrix GenerateDataset(const DatasetProfile& profile,
+                            std::size_t scale_divisor);
+
+/// Generates with an explicit row count (tests, custom experiments).
+DenseMatrix GenerateDatasetRows(const DatasetProfile& profile,
+                                std::size_t rows);
+
+}  // namespace gcm

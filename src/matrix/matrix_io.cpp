@@ -1,0 +1,118 @@
+#include "matrix/matrix_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "encoding/byte_stream.hpp"
+
+namespace gcm {
+namespace {
+
+constexpr u32 kDenseMagic = 0x444d4347;  // "GCMD"
+constexpr u32 kCsrvMagic = 0x534d4347;   // "GCMS"
+constexpr u32 kFormatVersion = 1;
+
+std::vector<u8> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  GCM_CHECK_MSG(in.good(), "cannot open file: " << path);
+  in.seekg(0, std::ios::end);
+  std::streamoff size = in.tellg();
+  in.seekg(0, std::ios::beg);
+  std::vector<u8> data(static_cast<std::size_t>(size));
+  in.read(reinterpret_cast<char*>(data.data()), size);
+  GCM_CHECK_MSG(in.good(), "short read on file: " << path);
+  return data;
+}
+
+void WriteFile(const std::string& path, const std::vector<u8>& data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  GCM_CHECK_MSG(out.good(), "cannot create file: " << path);
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  GCM_CHECK_MSG(out.good(), "short write on file: " << path);
+}
+
+}  // namespace
+
+void SaveDense(const DenseMatrix& matrix, const std::string& path) {
+  ByteWriter writer;
+  writer.Put<u32>(kDenseMagic);
+  writer.Put<u32>(kFormatVersion);
+  writer.PutVarint(matrix.rows());
+  writer.PutVarint(matrix.cols());
+  writer.PutVector(matrix.data());
+  WriteFile(path, writer.buffer());
+}
+
+DenseMatrix LoadDense(const std::string& path) {
+  std::vector<u8> data = ReadFile(path);
+  ByteReader reader(data);
+  GCM_CHECK_MSG(reader.Get<u32>() == kDenseMagic,
+                "not a dense matrix file: " << path);
+  GCM_CHECK_MSG(reader.Get<u32>() == kFormatVersion,
+                "unsupported format version in " << path);
+  std::size_t rows = reader.GetVarint();
+  std::size_t cols = reader.GetVarint();
+  std::vector<double> payload = reader.GetVector<double>();
+  GCM_CHECK_MSG(reader.AtEnd(), "trailing bytes in " << path);
+  return DenseMatrix(rows, cols, std::move(payload));
+}
+
+void SaveCsrv(const CsrvMatrix& matrix, const std::string& path) {
+  ByteWriter writer;
+  writer.Put<u32>(kCsrvMagic);
+  writer.Put<u32>(kFormatVersion);
+  writer.PutVarint(matrix.rows());
+  writer.PutVarint(matrix.cols());
+  writer.PutVector(matrix.dictionary());
+  writer.PutVector(matrix.sequence());
+  WriteFile(path, writer.buffer());
+}
+
+CsrvMatrix LoadCsrv(const std::string& path) {
+  std::vector<u8> data = ReadFile(path);
+  ByteReader reader(data);
+  GCM_CHECK_MSG(reader.Get<u32>() == kCsrvMagic,
+                "not a CSRV matrix file: " << path);
+  GCM_CHECK_MSG(reader.Get<u32>() == kFormatVersion,
+                "unsupported format version in " << path);
+  std::size_t rows = reader.GetVarint();
+  std::size_t cols = reader.GetVarint();
+  std::vector<double> dictionary = reader.GetVector<double>();
+  std::vector<u32> sequence = reader.GetVector<u32>();
+  GCM_CHECK_MSG(reader.AtEnd(), "trailing bytes in " << path);
+  return CsrvMatrix::FromParts(rows, cols, std::move(dictionary),
+                               std::move(sequence));
+}
+
+DenseMatrix LoadDenseText(const std::string& path) {
+  std::ifstream in(path);
+  GCM_CHECK_MSG(in.good(), "cannot open file: " << path);
+  std::size_t rows = 0, cols = 0;
+  GCM_CHECK_MSG(static_cast<bool>(in >> rows >> cols),
+                "missing dimensions header in " << path);
+  DenseMatrix matrix(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      double value;
+      GCM_CHECK_MSG(static_cast<bool>(in >> value),
+                    "truncated matrix body in " << path << " at row " << r);
+      matrix.Set(r, c, value);
+    }
+  }
+  return matrix;
+}
+
+void SaveDenseText(const DenseMatrix& matrix, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  GCM_CHECK_MSG(out.good(), "cannot create file: " << path);
+  out << matrix.rows() << " " << matrix.cols() << "\n";
+  for (std::size_t r = 0; r < matrix.rows(); ++r) {
+    for (std::size_t c = 0; c < matrix.cols(); ++c) {
+      out << matrix.At(r, c) << (c + 1 == matrix.cols() ? '\n' : ' ');
+    }
+  }
+  GCM_CHECK_MSG(out.good(), "short write on file: " << path);
+}
+
+}  // namespace gcm

@@ -1,0 +1,29 @@
+// Binary (and simple text) persistence for matrices.
+//
+// The paper's tools read matrices from disk and store the compressed
+// representation; these functions provide the equivalent container formats
+// with magic numbers and bounds-checked parsing so corrupt or truncated
+// files fail loudly (exercised by the failure-injection tests).
+#pragma once
+
+#include <string>
+
+#include "matrix/csrv.hpp"
+#include "matrix/dense_matrix.hpp"
+
+namespace gcm {
+
+/// Writes a dense matrix ("GCMD" magic, version, dims, row-major doubles).
+void SaveDense(const DenseMatrix& matrix, const std::string& path);
+DenseMatrix LoadDense(const std::string& path);
+
+/// Writes a CSRV matrix ("GCMS" magic, dims, dictionary, sequence).
+void SaveCsrv(const CsrvMatrix& matrix, const std::string& path);
+CsrvMatrix LoadCsrv(const std::string& path);
+
+/// Text format: first line "rows cols", then rows lines of cols values.
+/// Intended for the examples and small hand-written fixtures.
+DenseMatrix LoadDenseText(const std::string& path);
+void SaveDenseText(const DenseMatrix& matrix, const std::string& path);
+
+}  // namespace gcm

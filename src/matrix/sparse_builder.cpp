@@ -1,0 +1,129 @@
+#include "matrix/sparse_builder.hpp"
+
+#include <algorithm>
+
+namespace gcm {
+namespace {
+
+/// Sorts by (row, col) and validates range / duplicates / zeros.
+void SortAndValidate(std::size_t rows, std::size_t cols,
+                     std::vector<Triplet>* entries) {
+  for (const Triplet& t : *entries) {
+    GCM_CHECK_MSG(t.row < rows && t.col < cols,
+                  "triplet (" << t.row << "," << t.col
+                              << ") outside a " << rows << "x" << cols
+                              << " matrix");
+    GCM_CHECK_MSG(t.value != 0.0, "explicit zero at (" << t.row << ","
+                                                       << t.col << ")");
+  }
+  std::sort(entries->begin(), entries->end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  for (std::size_t i = 1; i < entries->size(); ++i) {
+    const Triplet& prev = (*entries)[i - 1];
+    const Triplet& cur = (*entries)[i];
+    GCM_CHECK_MSG(prev.row != cur.row || prev.col != cur.col,
+                  "duplicate entry at (" << cur.row << "," << cur.col << ")");
+  }
+}
+
+}  // namespace
+
+std::vector<double> BuildValueDictionary(
+    const std::vector<Triplet>& entries) {
+  std::vector<double> values;
+  values.reserve(entries.size());
+  for (const Triplet& t : entries) values.push_back(t.value);
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  values.shrink_to_fit();
+  return values;
+}
+
+CsrvMatrix CsrvFromTriplets(std::size_t rows, std::size_t cols,
+                            std::vector<Triplet> entries,
+                            const std::vector<u32>* traversal_order) {
+  SortAndValidate(rows, cols, &entries);
+  std::vector<double> dictionary = BuildValueDictionary(entries);
+  u64 alphabet = 1 + static_cast<u64>(dictionary.size()) * cols;
+  GCM_CHECK_MSG(alphabet <= 0xffffffffULL,
+                "CSRV alphabet overflow: |V|*cols = " << alphabet);
+
+  // Rank of each column in the traversal order (identity if absent).
+  std::vector<u32> rank(cols);
+  if (traversal_order != nullptr) {
+    GCM_CHECK_MSG(traversal_order->size() == cols,
+                  "traversal order length mismatch");
+    for (std::size_t t = 0; t < cols; ++t) {
+      GCM_CHECK_MSG((*traversal_order)[t] < cols,
+                    "traversal order entry out of range");
+      rank[(*traversal_order)[t]] = static_cast<u32>(t);
+    }
+  } else {
+    for (std::size_t c = 0; c < cols; ++c) rank[c] = static_cast<u32>(c);
+  }
+
+  std::vector<u32> sequence;
+  sequence.reserve(entries.size() + rows);
+  std::size_t i = 0;
+  std::vector<Triplet> row_buffer;
+  for (std::size_t r = 0; r < rows; ++r) {
+    row_buffer.clear();
+    while (i < entries.size() && entries[i].row == r) {
+      row_buffer.push_back(entries[i++]);
+    }
+    std::sort(row_buffer.begin(), row_buffer.end(),
+              [&](const Triplet& a, const Triplet& b) {
+                return rank[a.col] < rank[b.col];
+              });
+    for (const Triplet& t : row_buffer) {
+      auto it = std::lower_bound(dictionary.begin(), dictionary.end(),
+                                 t.value);
+      sequence.push_back(EncodeCsrvPair(
+          static_cast<u32>(it - dictionary.begin()), t.col, cols));
+    }
+    sequence.push_back(kCsrvSentinel);
+  }
+  return CsrvMatrix::FromParts(rows, cols, std::move(dictionary),
+                               std::move(sequence));
+}
+
+CsrMatrix CsrFromTriplets(std::size_t rows, std::size_t cols,
+                          std::vector<Triplet> entries) {
+  SortAndValidate(rows, cols, &entries);
+  std::vector<double> nz;
+  std::vector<u32> idx;
+  std::vector<u32> first;
+  nz.reserve(entries.size());
+  idx.reserve(entries.size());
+  first.reserve(rows + 1);
+  first.push_back(0);
+  std::size_t i = 0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    while (i < entries.size() && entries[i].row == r) {
+      nz.push_back(entries[i].value);
+      idx.push_back(entries[i].col);
+      ++i;
+    }
+    first.push_back(static_cast<u32>(nz.size()));
+  }
+  return CsrMatrix::FromParts(rows, cols, std::move(nz), std::move(idx),
+                              std::move(first));
+}
+
+std::vector<Triplet> TripletsFromDense(const DenseMatrix& dense) {
+  std::vector<Triplet> entries;
+  entries.reserve(dense.CountNonZeros());
+  for (std::size_t r = 0; r < dense.rows(); ++r) {
+    for (std::size_t c = 0; c < dense.cols(); ++c) {
+      double v = dense.At(r, c);
+      if (v != 0.0) {
+        entries.push_back({static_cast<u32>(r), static_cast<u32>(c), v});
+      }
+    }
+  }
+  return entries;
+}
+
+}  // namespace gcm

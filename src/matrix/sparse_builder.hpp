@@ -1,0 +1,46 @@
+// Sparse ingestion: build CSR / CSRV representations directly from
+// coordinate (COO) triplets, without materializing a dense matrix.
+//
+// The paper's datasets have up to 14.5M rows; a dense staging buffer would
+// need ~90 GB for Mnist2m. This path lets users feed non-zeros straight
+// into the compression pipeline:  triplets -> (S, V) -> RePair.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "matrix/csr.hpp"
+#include "matrix/csrv.hpp"
+#include "util/common.hpp"
+
+namespace gcm {
+
+/// One non-zero entry of a sparse matrix.
+struct Triplet {
+  u32 row;
+  u32 col;
+  double value;
+
+  bool operator==(const Triplet&) const = default;
+};
+
+/// Builds the sorted distinct-value dictionary of a triplet set.
+std::vector<double> BuildValueDictionary(const std::vector<Triplet>& entries);
+
+/// Builds a CSRV representation from triplets. Triplets may arrive in any
+/// order; duplicates (same row and column) and zero values are rejected.
+/// If `traversal_order` is given, the non-zeros of each row are emitted in
+/// that column order (Section 5 reordering), still carrying original
+/// column ids.
+CsrvMatrix CsrvFromTriplets(std::size_t rows, std::size_t cols,
+                            std::vector<Triplet> entries,
+                            const std::vector<u32>* traversal_order = nullptr);
+
+/// Builds a classical CSR matrix from triplets (same validation rules).
+CsrMatrix CsrFromTriplets(std::size_t rows, std::size_t cols,
+                          std::vector<Triplet> entries);
+
+/// Extracts the triplets of a dense matrix (testing / conversion).
+std::vector<Triplet> TripletsFromDense(const DenseMatrix& dense);
+
+}  // namespace gcm

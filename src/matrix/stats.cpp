@@ -1,0 +1,88 @@
+#include "matrix/stats.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <sstream>
+#include <unordered_map>
+
+#include "matrix/csr.hpp"
+
+namespace gcm {
+
+std::string MatrixStats::ToString() const {
+  std::ostringstream os;
+  os << rows << " x " << cols << ", nnz=" << nonzeros << " ("
+     << density * 100.0 << "%), distinct=" << distinct_values;
+  return os.str();
+}
+
+MatrixStats ComputeStats(const DenseMatrix& dense) {
+  MatrixStats stats;
+  stats.rows = dense.rows();
+  stats.cols = dense.cols();
+  stats.nonzeros = dense.CountNonZeros();
+  stats.density =
+      dense.rows() * dense.cols() == 0
+          ? 0.0
+          : static_cast<double>(stats.nonzeros) /
+                (static_cast<double>(dense.rows()) * dense.cols());
+  stats.distinct_values = BuildValueDictionary(dense).size();
+  stats.dense_bytes = dense.UncompressedBytes();
+  return stats;
+}
+
+namespace {
+
+double EntropyOfCounts(const std::unordered_map<u32, u64>& counts, u64 total) {
+  double bits = 0.0;
+  for (const auto& [symbol, count] : counts) {
+    (void)symbol;
+    double p = static_cast<double>(count) / static_cast<double>(total);
+    bits -= p * std::log2(p);
+  }
+  return bits;
+}
+
+// Context key: the k preceding symbols packed into a byte string.
+std::string ContextKey(const std::vector<u32>& sequence, std::size_t end,
+                       std::size_t k) {
+  std::string key(k * sizeof(u32), '\0');
+  std::memcpy(key.data(), sequence.data() + (end - k), k * sizeof(u32));
+  return key;
+}
+
+}  // namespace
+
+double EmpiricalEntropy(const std::vector<u32>& sequence, std::size_t k) {
+  if (sequence.size() <= 1) return 0.0;
+  if (k == 0) {
+    std::unordered_map<u32, u64> counts;
+    for (u32 symbol : sequence) counts[symbol]++;
+    return EntropyOfCounts(counts, sequence.size());
+  }
+  if (sequence.size() <= k) return 0.0;
+  // For each length-k context w, count the distribution of following symbols.
+  std::unordered_map<std::string, std::unordered_map<u32, u64>> contexts;
+  for (std::size_t i = k; i < sequence.size(); ++i) {
+    contexts[ContextKey(sequence, i, k)][sequence[i]]++;
+  }
+  double total_bits = 0.0;
+  for (const auto& [context, counts] : contexts) {
+    (void)context;
+    u64 occurrences = 0;
+    for (const auto& [symbol, count] : counts) {
+      (void)symbol;
+      occurrences += count;
+    }
+    total_bits +=
+        static_cast<double>(occurrences) * EntropyOfCounts(counts, occurrences);
+  }
+  return total_bits / static_cast<double>(sequence.size());
+}
+
+double EntropyBoundBits(const std::vector<u32>& sequence, std::size_t k) {
+  return EmpiricalEntropy(sequence, k) *
+         static_cast<double>(sequence.size());
+}
+
+}  // namespace gcm

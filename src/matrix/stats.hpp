@@ -1,0 +1,38 @@
+// Matrix and sequence statistics used throughout the experiments:
+// sparsity / distinct-value profiles (Table 1's descriptive columns) and the
+// order-k empirical entropy H_k that bounds the grammar-compressed size
+// (Section 3 cites |T|H_k(T) + o(|T|H_k(T)) for irreducible grammars).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "matrix/dense_matrix.hpp"
+#include "util/common.hpp"
+
+namespace gcm {
+
+struct MatrixStats {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::size_t nonzeros = 0;
+  double density = 0.0;          ///< nonzeros / (rows*cols)
+  std::size_t distinct_values = 0;
+  u64 dense_bytes = 0;           ///< rows*cols*8
+
+  std::string ToString() const;
+};
+
+MatrixStats ComputeStats(const DenseMatrix& dense);
+
+/// Order-k empirical entropy of a u32 sequence, in bits per symbol:
+///   H_0(T) = - sum_a (n_a/n) log2(n_a/n)
+///   H_k(T) = (1/n) sum_w |T_w| H_0(T_w)  over length-k contexts w.
+/// Returns 0 for sequences of length <= 1.
+double EmpiricalEntropy(const std::vector<u32>& sequence, std::size_t k);
+
+/// Total bits of the order-k statistical-entropy bound n * H_k(T).
+double EntropyBoundBits(const std::vector<u32>& sequence, std::size_t k);
+
+}  // namespace gcm

@@ -1,0 +1,28 @@
+#include "reorder/block_reorder.hpp"
+
+#include <algorithm>
+
+namespace gcm {
+
+std::vector<std::vector<u32>> ComputeBlockOrders(
+    const DenseMatrix& dense, std::size_t blocks, ReorderAlgorithm algorithm,
+    const CsmOptions& options, ThreadPool* pool) {
+  GCM_CHECK_MSG(blocks >= 1, "block count must be positive");
+  std::size_t rows_per_block =
+      std::max<std::size_t>(1, (dense.rows() + blocks - 1) / blocks);
+  std::size_t block_count =
+      dense.rows() == 0 ? 1
+                        : (dense.rows() + rows_per_block - 1) / rows_per_block;
+  std::vector<std::vector<u32>> orders(block_count);
+  for (std::size_t b = 0; b < block_count; ++b) {
+    std::size_t row_begin = b * rows_per_block;
+    std::size_t row_end = std::min(dense.rows(), row_begin + rows_per_block);
+    DenseMatrix block = dense.RowSlice(row_begin, row_end);
+    ColumnSimilarityMatrix csm =
+        ColumnSimilarityMatrix::Compute(block, options, pool);
+    orders[b] = ComputeColumnOrder(csm, algorithm);
+  }
+  return orders;
+}
+
+}  // namespace gcm

@@ -1,0 +1,25 @@
+// Per-block column reordering driver (Section 5.3).
+//
+// The paper's best configuration partitions the matrix into 16 row blocks,
+// reorders the columns of every block independently (each block may get a
+// different permutation), and compresses each block with its own order.
+// This header provides that pipeline plus the "pick the better of
+// PathCover and MWM per matrix" selection used for Table 4.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "matrix/dense_matrix.hpp"
+#include "reorder/reorder.hpp"
+#include "util/thread_pool.hpp"
+
+namespace gcm {
+
+/// Computes one column order per row block of `dense` (same blocking rule
+/// as BlockedGcMatrix::Build: ceil(rows/blocks) rows per block).
+std::vector<std::vector<u32>> ComputeBlockOrders(
+    const DenseMatrix& dense, std::size_t blocks, ReorderAlgorithm algorithm,
+    const CsmOptions& options, ThreadPool* pool = nullptr);
+
+}  // namespace gcm

@@ -1,0 +1,150 @@
+#include "reorder/column_similarity.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "matrix/csr.hpp"
+
+namespace gcm {
+namespace {
+
+/// Value-id image of the matrix: 0 for zero entries, 1+dictionary index
+/// otherwise. Turns double pairs into integer keys for counting.
+std::vector<u32> BuildValueIdGrid(const DenseMatrix& dense,
+                                  std::size_t rows_used) {
+  std::vector<double> dictionary = BuildValueDictionary(dense);
+  std::vector<u32> grid(rows_used * dense.cols(), 0);
+  for (std::size_t r = 0; r < rows_used; ++r) {
+    for (std::size_t c = 0; c < dense.cols(); ++c) {
+      double v = dense.At(r, c);
+      if (v == 0.0) continue;
+      auto it = std::lower_bound(dictionary.begin(), dictionary.end(), v);
+      grid[r * dense.cols() + c] =
+          1 + static_cast<u32>(it - dictionary.begin());
+    }
+  }
+  return grid;
+}
+
+/// RPNZ_ij: occurrences minus distinct types over non-zero pairs.
+double PairScore(const std::vector<u32>& grid, std::size_t rows,
+                 std::size_t cols, u32 i, u32 j,
+                 std::unordered_map<u64, u32>* scratch) {
+  scratch->clear();
+  u64 occurrences = 0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    u32 a = grid[r * cols + i];
+    u32 b = grid[r * cols + j];
+    if (a == 0 || b == 0) continue;
+    ++occurrences;
+    (*scratch)[(static_cast<u64>(a) << 32) | b]++;
+  }
+  u64 repetitions = occurrences - scratch->size();
+  return static_cast<double>(repetitions) / static_cast<double>(rows);
+}
+
+}  // namespace
+
+ColumnSimilarityMatrix ColumnSimilarityMatrix::Compute(
+    const DenseMatrix& dense, const CsmOptions& options, ThreadPool* pool) {
+  const std::size_t m = dense.cols();
+  std::size_t rows_used = options.row_sample == 0
+                              ? dense.rows()
+                              : std::min(dense.rows(), options.row_sample);
+  GCM_CHECK_MSG(rows_used > 0, "CSM needs at least one row");
+
+  std::vector<u32> grid = BuildValueIdGrid(dense, rows_used);
+
+  // scores[i] holds the row of scores (i, j) for j > i.
+  std::vector<std::vector<double>> scores(m);
+  auto compute_row = [&](std::size_t i) {
+    std::unordered_map<u64, u32> scratch;
+    scores[i].assign(m - i - 1, 0.0);
+    for (std::size_t j = i + 1; j < m; ++j) {
+      scores[i][j - i - 1] = PairScore(grid, rows_used, m,
+                                       static_cast<u32>(i),
+                                       static_cast<u32>(j), &scratch);
+    }
+  };
+  if (pool != nullptr && m > 1) {
+    pool->ParallelFor(m - 1, compute_row);
+  } else {
+    for (std::size_t i = 0; i + 1 < m; ++i) compute_row(i);
+  }
+
+  std::vector<CsmEdge> all;
+  for (std::size_t i = 0; i + 1 < m; ++i) {
+    for (std::size_t j = i + 1; j < m; ++j) {
+      double w = scores[i][j - i - 1];
+      if (w > 0.0) {
+        all.push_back({static_cast<u32>(i), static_cast<u32>(j), w});
+      }
+    }
+  }
+  return FromEdges(m, std::move(all), options);
+}
+
+ColumnSimilarityMatrix ColumnSimilarityMatrix::Prune(
+    const ColumnSimilarityMatrix& full, const CsmOptions& options) {
+  return FromEdges(full.cols(), full.edges(), options);
+}
+
+ColumnSimilarityMatrix ColumnSimilarityMatrix::FromEdges(
+    std::size_t m, std::vector<CsmEdge> all, const CsmOptions& options) {
+  ColumnSimilarityMatrix csm;
+  csm.cols_ = m;
+  switch (options.prune) {
+    case CsmPrune::kNone:
+      csm.edges_ = std::move(all);
+      break;
+    case CsmPrune::kLocal: {
+      // Keep each column's k best partners; an edge survives if it is in
+      // the top-k list of either endpoint (the union keeps the matrix
+      // symmetric, as in the paper's CSM^P).
+      std::vector<std::vector<std::size_t>> incident(m);
+      for (std::size_t e = 0; e < all.size(); ++e) {
+        incident[all[e].i].push_back(e);
+        incident[all[e].j].push_back(e);
+      }
+      std::vector<bool> keep(all.size(), false);
+      for (std::size_t c = 0; c < m; ++c) {
+        auto& list = incident[c];
+        std::size_t top = std::min(options.k, list.size());
+        std::partial_sort(list.begin(), list.begin() + top, list.end(),
+                          [&](std::size_t a, std::size_t b) {
+                            return all[a].weight > all[b].weight;
+                          });
+        for (std::size_t t = 0; t < top; ++t) keep[list[t]] = true;
+      }
+      for (std::size_t e = 0; e < all.size(); ++e) {
+        if (keep[e]) csm.edges_.push_back(all[e]);
+      }
+      break;
+    }
+    case CsmPrune::kGlobal: {
+      std::size_t top = std::min(all.size(), m * options.k);
+      std::partial_sort(all.begin(), all.begin() + top, all.end(),
+                        [](const CsmEdge& a, const CsmEdge& b) {
+                          return a.weight > b.weight;
+                        });
+      all.resize(top);
+      csm.edges_ = std::move(all);
+      break;
+    }
+  }
+
+  csm.lookup_.assign(m * m, 0.0);
+  for (const CsmEdge& edge : csm.edges_) {
+    csm.lookup_[edge.i * m + edge.j] = edge.weight;
+    csm.lookup_[edge.j * m + edge.i] = edge.weight;
+  }
+  return csm;
+}
+
+double ColumnSimilarityMatrix::Score(u32 i, u32 j) const {
+  GCM_CHECK_MSG(i < cols_ && j < cols_, "column index out of range");
+  if (i == j) return 0.0;
+  return lookup_[static_cast<std::size_t>(i) * cols_ + j];
+}
+
+}  // namespace gcm

@@ -1,0 +1,77 @@
+// Column-column similarity matrix (CSM) -- Section 5.1 of the paper.
+//
+// For columns i != j, build the row-wise sequence of value pairs
+// P_ij = <M[r][i], M[r][j]> and count RPNZ_ij = the number of *repetitions*
+// of pairs whose two components are both non-zero (a pair type occurring c
+// times contributes c-1). The similarity is CSM[i][j] = RPNZ_ij / n.
+// This estimates how many symbol pairs RePair could replace if columns i
+// and j were adjacent in the traversal order.
+//
+// Storage variants (Section 5.1):
+//   * full        -- all m(m-1)/2 scores,
+//   * local prune -- per column, keep only its k best-scoring partners,
+//   * global prune-- keep the m*k best scores overall.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "matrix/dense_matrix.hpp"
+#include "util/common.hpp"
+#include "util/thread_pool.hpp"
+
+namespace gcm {
+
+enum class CsmPrune { kNone, kLocal, kGlobal };
+
+struct CsmOptions {
+  CsmPrune prune = CsmPrune::kNone;
+  std::size_t k = 16;        ///< sparsity parameter for the pruned variants
+  std::size_t row_sample = 0;  ///< compute on the first N rows only (0 = all)
+};
+
+/// Weighted edge of the column-similarity graph (i < j).
+struct CsmEdge {
+  u32 i;
+  u32 j;
+  double weight;
+};
+
+class ColumnSimilarityMatrix {
+ public:
+  /// Computes all pairwise scores on `dense` (optionally on a row prefix),
+  /// then applies the requested pruning. Work parallelizes over the first
+  /// column index when a pool is given.
+  static ColumnSimilarityMatrix Compute(const DenseMatrix& dense,
+                                        const CsmOptions& options = {},
+                                        ThreadPool* pool = nullptr);
+
+  /// Applies pruning to an already computed (typically full) CSM without
+  /// recomputing pair scores; used when sweeping the sparsity parameter k.
+  static ColumnSimilarityMatrix Prune(const ColumnSimilarityMatrix& full,
+                                      const CsmOptions& options);
+
+  std::size_t cols() const { return cols_; }
+
+  /// Score of the (unordered) pair {i, j}; 0 if pruned away or i == j.
+  double Score(u32 i, u32 j) const;
+
+  /// Surviving edges with weight > 0, arbitrary order.
+  const std::vector<CsmEdge>& edges() const { return edges_; }
+
+  /// Number of stored (non-pruned, non-zero) entries.
+  std::size_t edge_count() const { return edges_.size(); }
+
+ private:
+  static ColumnSimilarityMatrix FromEdges(std::size_t cols,
+                                          std::vector<CsmEdge> edges,
+                                          const CsmOptions& options);
+
+  std::size_t cols_ = 0;
+  std::vector<CsmEdge> edges_;
+  // Dense lookup for Score(): index i*cols+j. Kept because reorder
+  // heuristics probe scores adaptively; m <= a few thousand in practice.
+  std::vector<double> lookup_;
+};
+
+}  // namespace gcm

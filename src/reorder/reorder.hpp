@@ -1,0 +1,53 @@
+// Column-reordering algorithms (Section 5.2) over the column-similarity
+// graph. All four return a traversal order: a permutation `order` such that
+// the CSRV builder visits column order[0], order[1], ... in every row,
+// placing similar columns adjacently so RePair finds more repeated pairs.
+//
+//   * TspOrder          -- the paper's LKH entry: model columns as TSP
+//                          cities with distance = -similarity. Stand-in for
+//                          Helsgaun's LKH: greedy nearest-neighbour path +
+//                          2-opt + Or-opt local search to convergence.
+//   * PathCoverOrder    -- Kruskal-style maximum-weight disjoint path
+//                          cover; paths concatenated into a permutation.
+//   * PathCoverPlusOrder-- PathCover with dynamic reweighting: after a path
+//                          absorbs a node, a neighbour's link weight to the
+//                          path becomes the *minimum* over members (the
+//                          paper reports it always loses; kept for parity).
+//   * MwmOrder          -- exact maximum-weight matching on the bipartite
+//                          predecessor/successor graph (edges i < j), via
+//                          the Hungarian algorithm; matched pairs chain
+//                          into ordered fragments.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "reorder/column_similarity.hpp"
+
+namespace gcm {
+
+enum class ReorderAlgorithm { kIdentity, kTsp, kPathCover, kPathCoverPlus,
+                              kMwm };
+
+const char* ReorderName(ReorderAlgorithm algorithm);
+ReorderAlgorithm ReorderByName(const std::string& name);
+
+std::vector<u32> TspOrder(const ColumnSimilarityMatrix& csm);
+std::vector<u32> PathCoverOrder(const ColumnSimilarityMatrix& csm);
+std::vector<u32> PathCoverPlusOrder(const ColumnSimilarityMatrix& csm);
+std::vector<u32> MwmOrder(const ColumnSimilarityMatrix& csm);
+
+/// Dispatches to the algorithm above (kIdentity returns 0..m-1).
+std::vector<u32> ComputeColumnOrder(const ColumnSimilarityMatrix& csm,
+                                    ReorderAlgorithm algorithm);
+
+/// Total similarity of adjacent pairs under `order` -- the objective all
+/// four heuristics maximize; used by tests and the ablation bench.
+double OrderScore(const ColumnSimilarityMatrix& csm,
+                  const std::vector<u32>& order);
+
+/// Checks that `order` is a permutation of [0, cols); throws otherwise.
+void ValidateOrder(const std::vector<u32>& order, std::size_t cols);
+
+}  // namespace gcm

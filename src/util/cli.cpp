@@ -1,0 +1,103 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace gcm {
+
+void CliParser::AddFlag(const std::string& name,
+                        const std::string& default_value,
+                        const std::string& help) {
+  GCM_CHECK_MSG(!flags_.count(name), "duplicate flag --" << name);
+  flags_[name] = Flag{default_value, help, std::nullopt};
+}
+
+bool CliParser::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(Usage().c_str(), stdout);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    auto eq = name.find('=');
+    if (eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_value = true;
+    }
+    auto it = flags_.find(name);
+    GCM_CHECK_MSG(it != flags_.end(), "unknown flag --" << name << "\n"
+                                                        << Usage());
+    if (!has_value) {
+      // Boolean flags may omit the value; otherwise consume the next token.
+      bool is_bool = it->second.default_value == "true" ||
+                     it->second.default_value == "false";
+      if (is_bool &&
+          (i + 1 >= argc || std::string(argv[i + 1]).rfind("--", 0) == 0)) {
+        value = "true";
+      } else {
+        GCM_CHECK_MSG(i + 1 < argc, "flag --" << name << " expects a value");
+        value = argv[++i];
+      }
+    }
+    it->second.value = value;
+  }
+  return true;
+}
+
+const CliParser::Flag& CliParser::Lookup(const std::string& name) const {
+  auto it = flags_.find(name);
+  GCM_CHECK_MSG(it != flags_.end(), "flag --" << name << " not registered");
+  return it->second;
+}
+
+std::string CliParser::GetString(const std::string& name) const {
+  const Flag& flag = Lookup(name);
+  return flag.value.value_or(flag.default_value);
+}
+
+i64 CliParser::GetInt(const std::string& name) const {
+  const std::string raw = GetString(name);
+  char* end = nullptr;
+  i64 parsed = std::strtoll(raw.c_str(), &end, 10);
+  GCM_CHECK_MSG(end != raw.c_str() && *end == '\0',
+                "flag --" << name << ": '" << raw << "' is not an integer");
+  return parsed;
+}
+
+double CliParser::GetDouble(const std::string& name) const {
+  const std::string raw = GetString(name);
+  char* end = nullptr;
+  double parsed = std::strtod(raw.c_str(), &end);
+  GCM_CHECK_MSG(end != raw.c_str() && *end == '\0',
+                "flag --" << name << ": '" << raw << "' is not a number");
+  return parsed;
+}
+
+bool CliParser::GetBool(const std::string& name) const {
+  const std::string raw = GetString(name);
+  if (raw == "true" || raw == "1") return true;
+  if (raw == "false" || raw == "0") return false;
+  GCM_CHECK_MSG(false, "flag --" << name << ": '" << raw << "' is not a bool");
+  return false;
+}
+
+std::string CliParser::Usage() const {
+  std::ostringstream os;
+  os << program_ << " -- " << description_ << "\n\nFlags:\n";
+  for (const auto& [name, flag] : flags_) {
+    os << "  --" << name << " (default: " << flag.default_value << ")\n      "
+       << flag.help << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace gcm

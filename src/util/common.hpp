@@ -1,0 +1,66 @@
+// Common assertion / error-handling primitives shared by every module.
+//
+// Two classes of checks:
+//   * GCM_ASSERT  -- internal invariants; compiled out in NDEBUG builds.
+//   * GCM_CHECK   -- user-facing validation (bad files, overflow, misuse);
+//                    always active, throws gcm::Error with a message.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace gcm {
+
+/// Exception thrown for all recoverable library errors (corrupt input,
+/// overflow, API misuse). Carries a human-readable message.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void ThrowCheckFailure(const char* expr, const char* file,
+                                           int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "GCM_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " -- " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+#define GCM_CHECK(expr)                                                      \
+  do {                                                                       \
+    if (!(expr))                                                             \
+      ::gcm::detail::ThrowCheckFailure(#expr, __FILE__, __LINE__, "");       \
+  } while (0)
+
+#define GCM_CHECK_MSG(expr, msg)                                             \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      std::ostringstream os_;                                                \
+      os_ << msg;                                                            \
+      ::gcm::detail::ThrowCheckFailure(#expr, __FILE__, __LINE__, os_.str()); \
+    }                                                                        \
+  } while (0)
+
+#ifdef NDEBUG
+#define GCM_ASSERT(expr) ((void)0)
+#else
+#define GCM_ASSERT(expr)                                                     \
+  do {                                                                       \
+    if (!(expr))                                                             \
+      ::gcm::detail::ThrowCheckFailure(#expr, __FILE__, __LINE__,            \
+                                       "internal invariant");                \
+  } while (0)
+#endif
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+}  // namespace gcm

@@ -1,0 +1,44 @@
+// Human-readable formatting helpers shared by benches and examples.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "util/common.hpp"
+
+namespace gcm {
+
+/// "12.34 MiB"-style byte formatting.
+inline std::string FormatBytes(u64 bytes) {
+  const char* units[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double value = static_cast<double>(bytes);
+  int unit = 0;
+  while (value >= 1024.0 && unit < 4) {
+    value /= 1024.0;
+    ++unit;
+  }
+  char buf[48];
+  if (unit == 0) {
+    std::snprintf(buf, sizeof(buf), "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f %s", value, units[unit]);
+  }
+  return buf;
+}
+
+/// "12.34%"-style ratio formatting (ratio given as a fraction of 1).
+inline std::string FormatPercent(double fraction, int decimals = 2) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, fraction * 100.0);
+  return buf;
+}
+
+/// Fixed-point seconds, e.g. "0.351 s".
+inline std::string FormatSeconds(double seconds, int decimals = 3) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.*f s", decimals, seconds);
+  return buf;
+}
+
+}  // namespace gcm

@@ -1,0 +1,132 @@
+#include "util/memory_tracker.hpp"
+
+#include <sys/resource.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace gcm {
+namespace {
+
+std::atomic<u64> g_current{0};
+std::atomic<u64> g_peak{0};
+
+}  // namespace
+
+u64 MemoryTracker::CurrentBytes() {
+  return g_current.load(std::memory_order_relaxed);
+}
+
+u64 MemoryTracker::PeakBytes() {
+  return g_peak.load(std::memory_order_relaxed);
+}
+
+void MemoryTracker::ResetPeak() {
+  g_peak.store(g_current.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+}
+
+u64 MemoryTracker::PeakRssBytes() {
+  struct rusage usage;
+  getrusage(RUSAGE_SELF, &usage);
+  // ru_maxrss is in kilobytes on Linux.
+  return static_cast<u64>(usage.ru_maxrss) * 1024;
+}
+
+void MemoryTracker::RecordAlloc(std::size_t bytes) {
+  u64 now = g_current.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  u64 peak = g_peak.load(std::memory_order_relaxed);
+  while (now > peak &&
+         !g_peak.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+  }
+}
+
+void MemoryTracker::RecordFree(std::size_t bytes) {
+  g_current.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+}  // namespace gcm
+
+// ---------------------------------------------------------------------------
+// Global operator new/delete replacements. We prepend a small header storing
+// the allocation size so frees can be accounted without a hash table. The
+// header is max_align_t-sized to preserve alignment guarantees.
+// ---------------------------------------------------------------------------
+namespace {
+
+constexpr std::size_t kHeader =
+    alignof(std::max_align_t) > sizeof(std::size_t)
+        ? alignof(std::max_align_t)
+        : sizeof(std::size_t);
+
+void* TrackedAlloc(std::size_t size) {
+  void* raw = std::malloc(size + kHeader);
+  if (raw == nullptr) throw std::bad_alloc();
+  *static_cast<std::size_t*>(raw) = size;
+  gcm::MemoryTracker::RecordAlloc(size);
+  return static_cast<char*>(raw) + kHeader;
+}
+
+void TrackedFree(void* ptr) noexcept {
+  if (ptr == nullptr) return;
+  void* raw = static_cast<char*>(ptr) - kHeader;
+  gcm::MemoryTracker::RecordFree(*static_cast<std::size_t*>(raw));
+  std::free(raw);
+}
+
+// Over-aligned allocations keep their own layout: we place the payload at
+// the next multiple of the alignment after the header and stash the raw
+// pointer + size just before the payload.
+struct AlignedPrefix {
+  void* raw;
+  std::size_t size;
+};
+
+void* TrackedAlignedAlloc(std::size_t size, std::size_t align) {
+  std::size_t slack = sizeof(AlignedPrefix) + align;
+  void* raw = std::malloc(size + slack);
+  if (raw == nullptr) throw std::bad_alloc();
+  auto addr = reinterpret_cast<std::uintptr_t>(raw) + sizeof(AlignedPrefix);
+  addr = (addr + align - 1) / align * align;
+  auto* prefix = reinterpret_cast<AlignedPrefix*>(addr) - 1;
+  prefix->raw = raw;
+  prefix->size = size;
+  gcm::MemoryTracker::RecordAlloc(size);
+  return reinterpret_cast<void*>(addr);
+}
+
+void TrackedAlignedFree(void* ptr) noexcept {
+  if (ptr == nullptr) return;
+  auto* prefix = static_cast<AlignedPrefix*>(ptr) - 1;
+  gcm::MemoryTracker::RecordFree(prefix->size);
+  std::free(prefix->raw);
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return TrackedAlloc(size); }
+void* operator new[](std::size_t size) { return TrackedAlloc(size); }
+void operator delete(void* ptr) noexcept { TrackedFree(ptr); }
+void operator delete[](void* ptr) noexcept { TrackedFree(ptr); }
+void operator delete(void* ptr, std::size_t) noexcept { TrackedFree(ptr); }
+void operator delete[](void* ptr, std::size_t) noexcept { TrackedFree(ptr); }
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  return TrackedAlignedAlloc(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return TrackedAlignedAlloc(size, static_cast<std::size_t>(align));
+}
+void operator delete(void* ptr, std::align_val_t) noexcept {
+  TrackedAlignedFree(ptr);
+}
+void operator delete[](void* ptr, std::align_val_t) noexcept {
+  TrackedAlignedFree(ptr);
+}
+void operator delete(void* ptr, std::size_t, std::align_val_t) noexcept {
+  TrackedAlignedFree(ptr);
+}
+void operator delete[](void* ptr, std::size_t, std::align_val_t) noexcept {
+  TrackedAlignedFree(ptr);
+}

@@ -1,0 +1,47 @@
+// Heap-usage accounting used to reproduce the paper's peak-memory columns.
+//
+// The paper measures peak resident memory of each configuration with the
+// Unix `time` tool. Running every configuration as a separate process would
+// make the benchmark harness awkward, so instead we track all allocations
+// that flow through global operator new/delete (every container in this
+// code base allocates through them) and report:
+//
+//   * CurrentBytes() -- live heap bytes right now,
+//   * PeakBytes()    -- high-water mark since the last ResetPeak(),
+//   * PeakRssBytes() -- the OS-reported peak RSS (whole process), as a
+//                       cross-check corresponding to what `time` reports.
+//
+// The per-scope pattern used by the benches:
+//
+//   MemoryTracker::ResetPeak();
+//   ... build compressed matrix, run 500 iterations ...
+//   u64 peak = MemoryTracker::PeakBytes();
+#pragma once
+
+#include <cstddef>
+
+#include "util/common.hpp"
+
+namespace gcm {
+
+class MemoryTracker {
+ public:
+  /// Live heap bytes allocated through global new at this instant.
+  static u64 CurrentBytes();
+
+  /// High-water mark of CurrentBytes() since the last ResetPeak().
+  static u64 PeakBytes();
+
+  /// Resets the high-water mark to the current live size.
+  static void ResetPeak();
+
+  /// OS-reported peak resident set size of the whole process, in bytes.
+  /// Monotone over the process lifetime (cannot be reset).
+  static u64 PeakRssBytes();
+
+  // Internal hooks called by the operator new/delete replacements.
+  static void RecordAlloc(std::size_t bytes);
+  static void RecordFree(std::size_t bytes);
+};
+
+}  // namespace gcm

@@ -1,0 +1,60 @@
+// Fixed-size worker pool used by the blocked (multithreaded) matrix kernels.
+//
+// The paper's Section 4.1 partitions a matrix into b row blocks and runs one
+// multiplication per block in parallel. The pool here provides exactly the
+// primitive that needs: ParallelFor over block indices with a barrier at the
+// end, plus a generic Submit for ad-hoc tasks.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace gcm {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers. threads == 0 means "hardware concurrency".
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a task; returns a future for its completion.
+  template <typename F>
+  std::future<void> Submit(F&& fn) {
+    auto task = std::make_shared<std::packaged_task<void()>>(
+        std::forward<F>(fn));
+    std::future<void> result = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  /// Runs fn(i) for i in [0, count), distributing across the pool, and
+  /// blocks until all invocations have finished. Exceptions from tasks are
+  /// rethrown (the first one encountered).
+  void ParallelFor(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace gcm

@@ -1,0 +1,316 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "encoding/bit_ops.hpp"
+#include "encoding/byte_stream.hpp"
+#include "encoding/int_vector.hpp"
+#include "encoding/rans.hpp"
+#include "util/rng.hpp"
+
+namespace gcm {
+namespace {
+
+TEST(BitOpsTest, BitWidth) {
+  EXPECT_EQ(BitWidth(0), 1u);
+  EXPECT_EQ(BitWidth(1), 1u);
+  EXPECT_EQ(BitWidth(2), 2u);
+  EXPECT_EQ(BitWidth(3), 2u);
+  EXPECT_EQ(BitWidth(255), 8u);
+  EXPECT_EQ(BitWidth(256), 9u);
+  EXPECT_EQ(BitWidth(~0ULL), 64u);
+}
+
+TEST(BitOpsTest, FloorLog2) {
+  EXPECT_EQ(FloorLog2(1), 0u);
+  EXPECT_EQ(FloorLog2(2), 1u);
+  EXPECT_EQ(FloorLog2(3), 1u);
+  EXPECT_EQ(FloorLog2(1024), 10u);
+}
+
+TEST(BitOpsTest, LowMask) {
+  EXPECT_EQ(LowMask(0), 0u);
+  EXPECT_EQ(LowMask(3), 7u);
+  EXPECT_EQ(LowMask(64), ~0ULL);
+}
+
+TEST(BitOpsTest, CeilDiv) {
+  EXPECT_EQ(CeilDiv(0, 4), 0u);
+  EXPECT_EQ(CeilDiv(1, 4), 1u);
+  EXPECT_EQ(CeilDiv(8, 4), 2u);
+  EXPECT_EQ(CeilDiv(9, 4), 3u);
+}
+
+TEST(IntVectorTest, RejectsBadWidth) {
+  EXPECT_THROW(IntVector(0), Error);
+  EXPECT_THROW(IntVector(65), Error);
+}
+
+TEST(IntVectorTest, SetGetRoundTripAcrossWordBoundaries) {
+  // Width 13 guarantees entries straddling 64-bit word boundaries.
+  IntVector v(100, 13);
+  for (std::size_t i = 0; i < 100; ++i) v.Set(i, (i * 2654435761u) & 0x1fff);
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(v.Get(i), (i * 2654435761u) & 0x1fff) << "index " << i;
+  }
+}
+
+TEST(IntVectorTest, Width64RoundTrip) {
+  IntVector v(10, 64);
+  Rng rng(5);
+  std::vector<u64> expected;
+  for (std::size_t i = 0; i < 10; ++i) {
+    expected.push_back(rng.Next());
+    v.Set(i, expected.back());
+  }
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(v.Get(i), expected[i]);
+}
+
+TEST(IntVectorTest, PackChoosesMinimalWidth) {
+  IntVector v = IntVector::Pack(std::vector<u64>{0, 1, 2, 1023});
+  EXPECT_EQ(v.width(), 10u);
+  EXPECT_EQ(v.Get(3), 1023u);
+}
+
+TEST(IntVectorTest, PackedIsSmallerThan32Bit) {
+  std::vector<u32> values(10000, 7);
+  IntVector packed = IntVector::Pack(values);
+  EXPECT_EQ(packed.width(), 3u);
+  EXPECT_LT(packed.SizeInBytes(), values.size() * sizeof(u32) / 8);
+}
+
+TEST(IntVectorTest, OverwriteDoesNotCorruptNeighbours) {
+  IntVector v(3, 7);
+  v.Set(0, 100);
+  v.Set(1, 101);
+  v.Set(2, 102);
+  v.Set(1, 5);
+  EXPECT_EQ(v.Get(0), 100u);
+  EXPECT_EQ(v.Get(1), 5u);
+  EXPECT_EQ(v.Get(2), 102u);
+}
+
+TEST(IntVectorTest, RestoreFromValidatesPayload) {
+  IntVector v;
+  EXPECT_THROW(v.RestoreFrom(100, 13, std::vector<u64>(3)), Error);
+}
+
+class IntVectorWidthTest : public ::testing::TestWithParam<u32> {};
+
+TEST_P(IntVectorWidthTest, RandomRoundTrip) {
+  const u32 width = GetParam();
+  Rng rng(width);
+  IntVector v(257, width);
+  std::vector<u64> expected(257);
+  for (std::size_t i = 0; i < 257; ++i) {
+    expected[i] = rng.Next() & LowMask(width);
+    v.Set(i, expected[i]);
+  }
+  EXPECT_EQ(v.ToVector(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, IntVectorWidthTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 12, 16, 21, 31, 32,
+                                           33, 47, 63, 64));
+
+TEST(ByteStreamTest, PodRoundTrip) {
+  ByteWriter w;
+  w.Put<u32>(0xdeadbeef);
+  w.Put<double>(3.25);
+  w.Put<u8>(7);
+  ByteReader r(w.buffer());
+  EXPECT_EQ(r.Get<u32>(), 0xdeadbeefu);
+  EXPECT_DOUBLE_EQ(r.Get<double>(), 3.25);
+  EXPECT_EQ(r.Get<u8>(), 7u);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(ByteStreamTest, VarintRoundTrip) {
+  ByteWriter w;
+  std::vector<u64> values = {0, 1, 127, 128, 300, 1u << 20, ~0ULL};
+  for (u64 v : values) w.PutVarint(v);
+  ByteReader r(w.buffer());
+  for (u64 v : values) EXPECT_EQ(r.GetVarint(), v);
+}
+
+TEST(ByteStreamTest, VectorRoundTrip) {
+  ByteWriter w;
+  std::vector<double> values = {1.0, -2.5, 0.0};
+  w.PutVector(values);
+  ByteReader r(w.buffer());
+  EXPECT_EQ(r.GetVector<double>(), values);
+}
+
+TEST(ByteStreamTest, TruncationThrows) {
+  ByteWriter w;
+  w.Put<u64>(1);
+  ByteReader r(w.buffer().data(), 4);
+  EXPECT_THROW(r.Get<u64>(), Error);
+}
+
+TEST(ByteStreamTest, OversizedVectorLengthThrows) {
+  ByteWriter w;
+  w.PutVarint(1'000'000);  // length prefix without payload
+  ByteReader r(w.buffer());
+  EXPECT_THROW(r.GetVector<u32>(), Error);
+}
+
+TEST(ByteStreamTest, MalformedVarintThrows) {
+  std::vector<u8> bad(11, 0x80);  // never terminates
+  ByteReader r(bad);
+  EXPECT_THROW(r.GetVarint(), Error);
+}
+
+TEST(ByteStreamTest, StringRoundTrip) {
+  ByteWriter w;
+  w.PutString("hello world");
+  ByteReader r(w.buffer());
+  EXPECT_EQ(r.GetString(), "hello world");
+}
+
+// --------------------------------------------------------------------------
+// rANS
+// --------------------------------------------------------------------------
+
+TEST(RansTest, EmptyInput) {
+  RansStream stream = RansEncode({});
+  EXPECT_EQ(stream.symbol_count, 0u);
+  RansDecoder decoder(stream);
+  EXPECT_TRUE(decoder.AtEnd());
+  EXPECT_THROW(decoder.Next(), Error);
+}
+
+TEST(RansTest, SingleSymbol) {
+  RansStream stream = RansEncode({42});
+  RansDecoder decoder(stream);
+  EXPECT_EQ(decoder.Next(), 42u);
+  EXPECT_TRUE(decoder.AtEnd());
+}
+
+TEST(RansTest, AllSameSymbolCompressesWell) {
+  std::vector<u32> input(100000, 3);
+  RansStream stream = RansEncode(input);
+  EXPECT_EQ(RansDecoder(stream).DecodeAll(), input);
+  // 100k identical symbols must compress far below 4 bytes/symbol.
+  EXPECT_LT(stream.SizeInBytes(), 2000u);
+}
+
+TEST(RansTest, SmallAlphabetRoundTrip) {
+  Rng rng(31);
+  std::vector<u32> input;
+  for (int i = 0; i < 50000; ++i) {
+    input.push_back(static_cast<u32>(rng.SkewedBelow(20, 0.7)));
+  }
+  RansStream stream = RansEncode(input);
+  EXPECT_EQ(RansDecoder(stream).DecodeAll(), input);
+}
+
+TEST(RansTest, LargeSymbolsUseFolding) {
+  Rng rng(37);
+  std::vector<u32> input;
+  for (int i = 0; i < 20000; ++i) {
+    input.push_back(static_cast<u32>(rng.Below(1u << 30)) + (1u << 20));
+  }
+  RansStream stream = RansEncode(input);
+  EXPECT_EQ(RansDecoder(stream).DecodeAll(), input);
+}
+
+TEST(RansTest, MixedLiteralAndFoldedSymbols) {
+  Rng rng(41);
+  std::vector<u32> input;
+  for (int i = 0; i < 30000; ++i) {
+    input.push_back(rng.Chance(0.5)
+                        ? static_cast<u32>(rng.Below(256))
+                        : static_cast<u32>(rng.Below(1u << 24)));
+  }
+  RansStream stream = RansEncode(input);
+  EXPECT_EQ(RansDecoder(stream).DecodeAll(), input);
+}
+
+TEST(RansTest, ExtremeSymbolValues) {
+  std::vector<u32> input = {0, 1, 0xffffffffu, 0x80000000u, 2, 0xfffffffeu};
+  RansStream stream = RansEncode(input);
+  EXPECT_EQ(RansDecoder(stream).DecodeAll(), input);
+}
+
+TEST(RansTest, SkewedDistributionBeatsFlatEncoding) {
+  Rng rng(43);
+  std::vector<u32> input;
+  for (int i = 0; i < 100000; ++i) {
+    input.push_back(static_cast<u32>(rng.SkewedBelow(64, 0.5)));
+  }
+  RansStream stream = RansEncode(input);
+  // H is roughly 2 bits/symbol here; 4-byte ints would be 400 KB.
+  EXPECT_LT(stream.SizeInBytes(), 60000u);
+  EXPECT_EQ(RansDecoder(stream).DecodeAll(), input);
+}
+
+TEST(RansTest, ResetRestartsDecoding) {
+  std::vector<u32> input = {5, 6, 7, 8, 9};
+  RansStream stream = RansEncode(input);
+  RansDecoder decoder(stream);
+  EXPECT_EQ(decoder.Next(), 5u);
+  EXPECT_EQ(decoder.Next(), 6u);
+  decoder.Reset();
+  EXPECT_EQ(decoder.DecodeAll(), input);
+}
+
+TEST(RansTest, SerializationRoundTrip) {
+  Rng rng(47);
+  std::vector<u32> input;
+  for (int i = 0; i < 5000; ++i) {
+    input.push_back(static_cast<u32>(rng.Below(100000)));
+  }
+  RansStream stream = RansEncode(input);
+  ByteWriter w;
+  stream.Serialize(&w);
+  ByteReader r(w.buffer());
+  RansStream restored = RansStream::Deserialize(&r);
+  EXPECT_EQ(restored, stream);
+  EXPECT_EQ(RansDecoder(restored).DecodeAll(), input);
+}
+
+TEST(RansTest, CorruptHeaderRejected) {
+  RansStream stream = RansEncode({1, 2, 3});
+  ByteWriter w;
+  stream.Serialize(&w);
+  std::vector<u8> bytes = w.buffer();
+  bytes[0] = 99;  // invalid fold_bits
+  ByteReader r(bytes);
+  EXPECT_THROW(RansStream::Deserialize(&r), Error);
+}
+
+TEST(RansTest, TruncatedPayloadThrowsOnDecode) {
+  std::vector<u32> input(1000);
+  Rng rng(53);
+  for (auto& v : input) v = static_cast<u32>(rng.Below(1u << 16));
+  RansStream stream = RansEncode(input);
+  stream.chunks.resize(stream.chunks.size() / 2);
+  bool threw_or_diverged = false;
+  try {
+    RansDecoder decoder(stream);
+    std::vector<u32> out = decoder.DecodeAll();
+    threw_or_diverged = (out != input);
+  } catch (const Error&) {
+    threw_or_diverged = true;
+  }
+  EXPECT_TRUE(threw_or_diverged);
+}
+
+class RansFoldBitsTest : public ::testing::TestWithParam<u32> {};
+
+TEST_P(RansFoldBitsTest, RoundTripAcrossFoldSettings) {
+  Rng rng(GetParam());
+  std::vector<u32> input;
+  for (int i = 0; i < 20000; ++i) {
+    input.push_back(static_cast<u32>(rng.SkewedBelow(1u << 18, 0.999)));
+  }
+  RansStream stream = RansEncode(input, GetParam());
+  EXPECT_EQ(RansDecoder(stream).DecodeAll(), input);
+}
+
+INSTANTIATE_TEST_SUITE_P(FoldBits, RansFoldBitsTest,
+                         ::testing::Values(1, 4, 8, 10, 12, 13));
+
+}  // namespace
+}  // namespace gcm
