@@ -1,9 +1,32 @@
 #include "baselines/external/external_compressors.hpp"
 
-#include <lzma.h>
+#if GCM_HAVE_ZLIB
 #include <zlib.h>
+#endif
+#if GCM_HAVE_LZMA
+#include <lzma.h>
+#endif
 
 namespace gcm {
+
+#if !GCM_HAVE_ZLIB || !GCM_HAVE_LZMA
+namespace {
+// The "support compiled out" wording is part of the documented contract
+// (see the header and the ExternalCompressorsTest contract tests).
+[[noreturn]] void ThrowCompiledOut(const char* fn, const char* lib,
+                                   const char* cmake_flag) {
+  throw Error(std::string(fn) + ": " + lib +
+              " support compiled out; rebuild with -D" + cmake_flag +
+              "=ON and " + lib + " installed");
+}
+}  // namespace
+#endif
+
+bool GzipAvailable() noexcept { return GCM_HAVE_ZLIB != 0; }
+
+bool XzAvailable() noexcept { return GCM_HAVE_LZMA != 0; }
+
+#if GCM_HAVE_ZLIB
 
 std::vector<u8> GzipCompress(const void* data, std::size_t size, int level) {
   uLongf bound = compressBound(static_cast<uLong>(size));
@@ -26,6 +49,20 @@ std::vector<u8> GzipDecompress(const std::vector<u8>& compressed,
                 "zlib uncompress produced unexpected size");
   return out;
 }
+
+#else  // !GCM_HAVE_ZLIB
+
+std::vector<u8> GzipCompress(const void*, std::size_t, int) {
+  ThrowCompiledOut("GzipCompress", "zlib", "GCM_WITH_ZLIB");
+}
+
+std::vector<u8> GzipDecompress(const std::vector<u8>&, std::size_t) {
+  ThrowCompiledOut("GzipDecompress", "zlib", "GCM_WITH_ZLIB");
+}
+
+#endif  // GCM_HAVE_ZLIB
+
+#if GCM_HAVE_LZMA
 
 std::vector<u8> XzCompress(const void* data, std::size_t size, u32 preset) {
   std::size_t bound = lzma_stream_buffer_bound(size);
@@ -52,6 +89,18 @@ std::vector<u8> XzDecompress(const std::vector<u8>& compressed,
                 "lzma decode produced unexpected size");
   return out;
 }
+
+#else  // !GCM_HAVE_LZMA
+
+std::vector<u8> XzCompress(const void*, std::size_t, u32) {
+  ThrowCompiledOut("XzCompress", "liblzma", "GCM_WITH_LZMA");
+}
+
+std::vector<u8> XzDecompress(const std::vector<u8>&, std::size_t) {
+  ThrowCompiledOut("XzDecompress", "liblzma", "GCM_WITH_LZMA");
+}
+
+#endif  // GCM_HAVE_LZMA
 
 u64 GzipCompressedSize(const DenseMatrix& matrix, int level) {
   return GzipCompress(matrix.data().data(), matrix.UncompressedBytes(), level)

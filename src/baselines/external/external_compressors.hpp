@@ -4,6 +4,13 @@
 // dense matrix bytes (rows*cols*8). These baselines only provide storage
 // compression -- any linear-algebra operation requires full decompression,
 // which is exactly the contrast the paper draws with the grammar formats.
+//
+// Both backends are optional at build time. The build system defines
+// GCM_HAVE_ZLIB / GCM_HAVE_LZMA to 1 when the corresponding library was
+// found (or to 0 when disabled via -DGCM_WITH_ZLIB=OFF / -DGCM_WITH_LZMA=OFF).
+// When a backend is compiled out its functions throw gcm::Error with a
+// message containing "support compiled out"; query GzipAvailable() /
+// XzAvailable() to branch without catching.
 #pragma once
 
 #include <cstddef>
@@ -12,7 +19,19 @@
 #include "matrix/dense_matrix.hpp"
 #include "util/common.hpp"
 
+#ifndef GCM_HAVE_ZLIB
+#define GCM_HAVE_ZLIB 0
+#endif
+#ifndef GCM_HAVE_LZMA
+#define GCM_HAVE_LZMA 0
+#endif
+
 namespace gcm {
+
+/// True when the library was built against zlib (GCM_HAVE_ZLIB=1).
+bool GzipAvailable() noexcept;
+/// True when the library was built against liblzma (GCM_HAVE_LZMA=1).
+bool XzAvailable() noexcept;
 
 /// Deflate-compresses `data`; level follows zlib conventions (default 6,
 /// matching `gzip` without flags as used in the paper).

@@ -6,6 +6,16 @@
 //                    always active, throws gcm::Error with a message.
 #pragma once
 
+// The library hard-requires C++20: std::bit_width in encoding/bit_ops.hpp,
+// defaulted operator== in encoding/rans.hpp and grammar/slp.hpp, and
+// designated initializers throughout. Fail fast with a clear message instead
+// of a cryptic "'bit_width' is not a member of 'std'" deep in a header.
+// (MSVC reports 199711L in __cplusplus unless /Zc:__cplusplus is set, so
+// also accept its _MSVC_LANG macro.)
+#if !(__cplusplus >= 202002L || (defined(_MSVC_LANG) && _MSVC_LANG >= 202002L))
+#error "gcm requires C++20 or newer: compile with -std=c++20 (or /std:c++20)"
+#endif
+
 #include <cstdint>
 #include <sstream>
 #include <stdexcept>
