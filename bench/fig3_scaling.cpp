@@ -14,7 +14,6 @@
 #include <cstdio>
 
 #include "bench/bench_common.hpp"
-#include "core/blocked_matrix.hpp"
 #include "core/power_iteration.hpp"
 #include "util/memory_tracker.hpp"
 
@@ -27,14 +26,14 @@ struct Measurement {
   double seconds_per_iter;
 };
 
-Measurement Measure(const DenseMatrix& dense, GcFormat format,
+Measurement Measure(const DenseMatrix& dense, const std::string& spec,
                     std::size_t threads, std::size_t iters) {
   u64 before_build = MemoryTracker::CurrentBytes();
-  BlockedGcMatrix matrix =
-      BlockedGcMatrix::Build(dense, threads, {format, 12, 0});
+  AnyMatrix matrix = AnyMatrix::Build(
+      dense, spec + "?blocks=" + std::to_string(threads));
   ThreadPool pool(threads);
-  PowerIterationResult result =
-      RunPowerIteration(matrix, iters, threads == 1 ? nullptr : &pool);
+  PowerIterationResult result = RunPowerIteration(
+      matrix, iters, MulContext{threads == 1 ? nullptr : &pool});
   u64 attributable = result.peak_heap_bytes > before_build
                          ? result.peak_heap_bytes - before_build
                          : 0;
@@ -52,8 +51,8 @@ int main(int argc, char** argv) {
   const std::size_t iters = static_cast<std::size_t>(cli.GetInt("iters"));
   const std::size_t kThreads[] = {1, 4, 8, 12, 16};
 
-  for (GcFormat format : {GcFormat::kReAns, GcFormat::kReIv}) {
-    bench::PrintHeader(std::string("Figure 3 -- ") + FormatName(format) +
+  for (const std::string spec : {"gcm:re_ans", "gcm:re_iv"}) {
+    bench::PrintHeader("Figure 3 -- " + spec +
                        ": ratio vs single-thread (memory, then time)");
     std::printf("%-10s | %7s %7s %7s %7s %7s | %7s %7s %7s %7s %7s\n",
                 "matrix", "mem x1", "x4", "x8", "x12", "x16", "time x1", "x4",
@@ -61,11 +60,11 @@ int main(int argc, char** argv) {
     for (const DatasetProfile* profile : bench::SelectDatasets(cli)) {
       DenseMatrix dense = bench::Generate(*profile, cli);
       double mem_ratio[5], time_ratio[5];
-      Measurement base = Measure(dense, format, 1, iters);
+      Measurement base = Measure(dense, spec, 1, iters);
       for (int t = 0; t < 5; ++t) {
         Measurement m = kThreads[t] == 1
                             ? base
-                            : Measure(dense, format, kThreads[t], iters);
+                            : Measure(dense, spec, kThreads[t], iters);
         mem_ratio[t] = static_cast<double>(m.peak_bytes) /
                        static_cast<double>(base.peak_bytes);
         time_ratio[t] = m.seconds_per_iter / base.seconds_per_iter;

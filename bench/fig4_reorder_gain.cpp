@@ -23,9 +23,10 @@ u64 MeasurePeak(const DenseMatrix& dense, GcFormat format,
                 const std::vector<std::vector<u32>>& orders,
                 std::size_t blocks, std::size_t iters, ThreadPool* pool) {
   u64 before_build = MemoryTracker::CurrentBytes();
-  BlockedGcMatrix matrix =
-      BlockedGcMatrix::Build(dense, blocks, {format, 12, 0}, orders);
-  PowerIterationResult result = RunPowerIteration(matrix, iters, pool);
+  AnyMatrix matrix = AnyMatrix::Wrap(
+      BlockedGcMatrix::Build(dense, blocks, {format, 12, 0}, orders));
+  PowerIterationResult result =
+      RunPowerIteration(matrix, iters, MulContext{pool});
   return result.peak_heap_bytes > before_build
              ? result.peak_heap_bytes - before_build
              : 0;

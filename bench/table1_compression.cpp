@@ -12,7 +12,7 @@
 
 #include "baselines/external/external_compressors.hpp"
 #include "bench/bench_common.hpp"
-#include "core/gc_matrix.hpp"
+#include "core/any_matrix.hpp"
 #include "matrix/stats.hpp"
 #include "util/timer.hpp"
 
@@ -49,12 +49,12 @@ int main(int argc, char** argv) {
     u64 gzip = run_gzip ? GzipCompressedSize(dense) : 0;
     u64 xz = run_xz ? XzCompressedSize(dense) : 0;
 
+    // Backend-generic: each column is one engine spec string.
+    const char* specs[4] = {"csrv", "gcm:re_32", "gcm:re_iv", "gcm:re_ans"};
     double ratio[4];
-    GcFormat formats[4] = {GcFormat::kCsrv, GcFormat::kRe32, GcFormat::kReIv,
-                           GcFormat::kReAns};
     for (int f = 0; f < 4; ++f) {
-      GcMatrix gc = GcMatrix::FromDense(dense, {formats[f], 12, 0});
-      ratio[f] = bench::Pct(gc.CompressedBytes(), dense_bytes);
+      AnyMatrix m = AnyMatrix::Build(dense, specs[f]);
+      ratio[f] = bench::Pct(m.CompressedBytes(), dense_bytes);
     }
 
     std::printf("%-10s %9zu %5zu %7.2f%% %9zu | ", profile->name.c_str(),

@@ -4,6 +4,9 @@
 // for re_iv / re_ans single-threaded, and csrv / re_32 / re_iv / re_ans
 // with 16 threads over 16 row blocks (Section 4.2).
 //
+// Every column is one AnyMatrix spec string; the measurement loop itself
+// is backend-generic (build from spec, run the engine power iteration).
+//
 // Expected shape (paper): single-thread peaks sit a few points above the
 // Table 1 compressed sizes (the W array plus vectors); the 16-thread
 // versions stay a small fraction of the dense size except on the barely
@@ -16,9 +19,10 @@
 // (e.g. the generator's dense copy) is alive in the process.
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench/bench_common.hpp"
-#include "core/blocked_matrix.hpp"
 #include "core/power_iteration.hpp"
 #include "util/memory_tracker.hpp"
 
@@ -26,18 +30,23 @@ using namespace gcm;
 
 namespace {
 
+struct Config {
+  const char* label;
+  std::string spec;
+  bool use_pool;
+};
+
 struct Measurement {
   double peak_pct;
   double seconds_per_iter;
 };
 
-Measurement Measure(const DenseMatrix& dense, GcFormat format,
-                    std::size_t blocks, std::size_t iters,
-                    ThreadPool* pool) {
+Measurement Measure(const DenseMatrix& dense, const std::string& spec,
+                    std::size_t iters, ThreadPool* pool) {
   u64 before_build = MemoryTracker::CurrentBytes();
-  BlockedGcMatrix matrix =
-      BlockedGcMatrix::Build(dense, blocks, {format, 12, 0});
-  PowerIterationResult result = RunPowerIteration(matrix, iters, pool);
+  AnyMatrix matrix = AnyMatrix::Build(dense, spec);
+  PowerIterationResult result =
+      RunPowerIteration(matrix, iters, MulContext{pool});
   u64 attributable = result.peak_heap_bytes > before_build
                          ? result.peak_heap_bytes - before_build
                          : 0;
@@ -59,34 +68,37 @@ int main(int argc, char** argv) {
   const std::size_t threads = static_cast<std::size_t>(cli.GetInt("threads"));
   ThreadPool pool(threads);
 
+  const std::string blocks = "?blocks=" + std::to_string(threads);
+  const std::vector<Config> configs = {
+      {"iv1", "gcm:re_iv", false},
+      {"ans1", "gcm:re_ans", false},
+      {"csrv", "gcm:csrv" + blocks, true},
+      {"re32", "gcm:re_32" + blocks, true},
+      {"reiv", "gcm:re_iv" + blocks, true},
+      {"reans", "gcm:re_ans" + blocks, true},
+  };
+
   bench::PrintHeader(
       "Table 2 -- peak memory (% of dense) and sec/iter, " +
       std::to_string(iters) + " iterations of Eq. (4)\n"
       "columns: re_iv/re_ans single thread; csrv/re_32/re_iv/re_ans with " +
       std::to_string(threads) + " threads x " + std::to_string(threads) +
       " row blocks");
-  std::printf("%-10s | %8s %8s | %8s %8s | %8s %8s | %8s %8s | %8s %8s | "
-              "%8s %8s\n",
-              "matrix", "iv1 mem", "iv1 t", "ans1 mem", "ans1 t", "csrv mem",
-              "csrv t", "re32 mem", "re32 t", "reiv mem", "reiv t",
-              "reans mem", "reans t");
+  std::printf("%-10s |", "matrix");
+  for (const Config& config : configs) {
+    std::printf(" %8s mem %6s t |", config.label, config.label);
+  }
+  std::printf("\n");
 
   for (const DatasetProfile* profile : bench::SelectDatasets(cli)) {
     DenseMatrix dense = bench::Generate(*profile, cli);
-    Measurement iv1 = Measure(dense, GcFormat::kReIv, 1, iters, nullptr);
-    Measurement ans1 = Measure(dense, GcFormat::kReAns, 1, iters, nullptr);
-    Measurement csrv = Measure(dense, GcFormat::kCsrv, threads, iters, &pool);
-    Measurement re32 = Measure(dense, GcFormat::kRe32, threads, iters, &pool);
-    Measurement reiv = Measure(dense, GcFormat::kReIv, threads, iters, &pool);
-    Measurement reans =
-        Measure(dense, GcFormat::kReAns, threads, iters, &pool);
-    std::printf("%-10s | %7.2f%% %8.4f | %7.2f%% %8.4f | %7.2f%% %8.4f | "
-                "%7.2f%% %8.4f | %7.2f%% %8.4f | %7.2f%% %8.4f\n",
-                profile->name.c_str(), iv1.peak_pct, iv1.seconds_per_iter,
-                ans1.peak_pct, ans1.seconds_per_iter, csrv.peak_pct,
-                csrv.seconds_per_iter, re32.peak_pct, re32.seconds_per_iter,
-                reiv.peak_pct, reiv.seconds_per_iter, reans.peak_pct,
-                reans.seconds_per_iter);
+    std::printf("%-10s |", profile->name.c_str());
+    for (const Config& config : configs) {
+      Measurement m = Measure(dense, config.spec, iters,
+                              config.use_pool ? &pool : nullptr);
+      std::printf(" %11.2f%% %8.4f |", m.peak_pct, m.seconds_per_iter);
+    }
+    std::printf("\n");
   }
   std::printf("\nPaper reference (500 iters, full datasets): e.g. Census "
               "re_iv1 4.37%% / re_ans1 4.11%%;\n16-thread peaks csrv 23.88%%,"

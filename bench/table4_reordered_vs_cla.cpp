@@ -12,8 +12,8 @@
 // reproduced here by including ClaMatrix::Compress in the measured scope.
 
 #include <cstdio>
+#include <functional>
 
-#include "baselines/cla/cla_matrix.hpp"
 #include "bench/bench_common.hpp"
 #include "core/blocked_matrix.hpp"
 #include "core/power_iteration.hpp"
@@ -30,34 +30,24 @@ struct Row {
   double seconds_per_iter;
 };
 
-Row MeasureGrammar(const DenseMatrix& dense, GcFormat format,
-                   const std::vector<std::vector<u32>>& orders,
-                   std::size_t blocks, std::size_t iters, ThreadPool* pool) {
-  u64 before_build = MemoryTracker::CurrentBytes();
-  BlockedGcMatrix matrix =
-      BlockedGcMatrix::Build(dense, blocks, {format, 12, 0}, orders);
-  PowerIterationResult result = RunPowerIteration(matrix, iters, pool);
-  u64 attributable = result.peak_heap_bytes > before_build
-                         ? result.peak_heap_bytes - before_build
-                         : 0;
-  return {bench::Pct(matrix.CompressedBytes(), dense.UncompressedBytes()),
-          bench::Pct(attributable, dense.UncompressedBytes()),
-          result.seconds_per_iteration};
-}
-
-Row MeasureCla(const DenseMatrix& dense, std::size_t iters,
-               ThreadPool* pool) {
-  // As in the paper's SystemDS runs, compression happens inside the
-  // measured scope (CLA recompresses at every execution), so its peak
-  // memory is an upper bound dominated by the compression phase.
+/// Backend-generic measurement: build an engine matrix, run Eq. (4).
+/// When `include_build_peak` is set, the build phase participates in the
+/// peak (the paper measured CLA that way: SystemDS recompresses at every
+/// execution, so its compression phase dominates the reported peak).
+Row Measure(const DenseMatrix& dense,
+            const std::function<AnyMatrix()>& build, std::size_t iters,
+            ThreadPool* pool, bool include_build_peak) {
   u64 before_build = MemoryTracker::CurrentBytes();
   MemoryTracker::ResetPeak();
-  ClaMatrix cla = ClaMatrix::Compress(dense);
-  u64 compression_peak = MemoryTracker::PeakBytes();
-  PowerIterationResult result = RunPowerIteration(cla, iters, pool);
-  u64 peak = std::max(compression_peak, result.peak_heap_bytes);
+  AnyMatrix matrix = build();
+  u64 build_peak = MemoryTracker::PeakBytes();
+  PowerIterationResult result =
+      RunPowerIteration(matrix, iters, MulContext{pool});
+  u64 peak = include_build_peak
+                 ? std::max(build_peak, result.peak_heap_bytes)
+                 : result.peak_heap_bytes;
   u64 attributable = peak > before_build ? peak - before_build : 0;
-  return {bench::Pct(cla.CompressedBytes(), dense.UncompressedBytes()),
+  return {bench::Pct(matrix.CompressedBytes(), dense.UncompressedBytes()),
           bench::Pct(attributable, dense.UncompressedBytes()),
           result.seconds_per_iteration};
 }
@@ -112,11 +102,19 @@ int main(int argc, char** argv) {
       }
     }
 
-    Row iv = MeasureGrammar(dense, GcFormat::kReIv, best_orders, threads,
-                            iters, &pool);
-    Row ans = MeasureGrammar(dense, GcFormat::kReAns, best_orders, threads,
-                             iters, &pool);
-    Row cla = MeasureCla(dense, iters, &pool);
+    auto reordered = [&](GcFormat format) {
+      return AnyMatrix::Wrap(BlockedGcMatrix::Build(
+          dense, threads, {format, 12, 0}, best_orders));
+    };
+    Row iv = Measure(
+        dense, [&] { return reordered(GcFormat::kReIv); }, iters, &pool,
+        false);
+    Row ans = Measure(
+        dense, [&] { return reordered(GcFormat::kReAns); }, iters, &pool,
+        false);
+    Row cla = Measure(
+        dense, [&] { return AnyMatrix::Build(dense, "cla"); }, iters, &pool,
+        true);
 
     std::printf("%-10s %-10s | %6.2f%% %7.2f%% %8.4f | %6.2f%% %7.2f%% "
                 "%8.4f | %6.2f%% %7.2f%% %8.4f\n",

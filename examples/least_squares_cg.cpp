@@ -2,19 +2,22 @@
 // training matrix.
 //
 //   $ ./least_squares_cg [--dataset Census] [--rows 4000] [--iters 40]
+//                        [--spec gcm:re_iv]
 //
 // The paper motivates Eq. (4) as "the most costly operations of the
 // conjugate gradient method used for least-squares computations". This
 // example runs the real thing: CGLS for min ||Ax - b||_2 where A is an ML
-// design matrix kept grammar-compressed end to end. Every CG step needs
-// one right multiplication (A p) and one left multiplication (A^t r) --
-// exactly the two kernels Theorems 3.4 and 3.10 provide, so the solver
-// never decompresses A.
+// design matrix kept compressed end to end. Every CG step needs one right
+// multiplication (A p) and one left multiplication (A^t r) -- exactly the
+// two kernels Theorems 3.4 and 3.10 provide, so the solver never
+// decompresses A. The matrix is built through the AnyMatrix engine from
+// --spec, so any backend (gcm:*, csrv, cla, auto?budget=...) slots into
+// the same allocation-free solver loop.
 
 #include <cmath>
 #include <cstdio>
 
-#include "core/gc_matrix.hpp"
+#include "core/any_matrix.hpp"
 #include "matrix/datasets.hpp"
 #include "util/cli.hpp"
 #include "util/format.hpp"
@@ -41,6 +44,8 @@ int main(int argc, char** argv) {
   cli.AddFlag("dataset", "Census", "dataset profile to generate");
   cli.AddFlag("rows", "4000", "training rows");
   cli.AddFlag("iters", "40", "CG iterations");
+  cli.AddFlag("spec", "gcm:re_iv",
+              "engine spec string, e.g. gcm:re_ans?blocks=8 or cla");
   if (!cli.Parse(argc, argv)) return 0;
 
   const DatasetProfile& profile = DatasetByName(cli.GetString("dataset"));
@@ -54,9 +59,15 @@ int main(int argc, char** argv) {
   std::vector<double> b = dense.MultiplyRight(x_true);
   for (auto& v : b) v += 0.01 * rng.NextGaussian();
 
-  GcMatrix a = GcMatrix::FromDense(dense, {GcFormat::kReIv, 12, 0});
-  std::printf("design matrix %zux%zu: dense %s -> compressed %s (%.2f%%)\n",
-              a.rows(), a.cols(),
+  AnyMatrix a;
+  try {
+    a = AnyMatrix::Build(dense, cli.GetString("spec"));
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "bad --spec: %s\n", e.what());
+    return 2;
+  }
+  std::printf("design matrix %zux%zu (%s): dense %s -> %s (%.2f%%)\n",
+              a.rows(), a.cols(), a.FormatTag().c_str(),
               FormatBytes(dense.UncompressedBytes()).c_str(),
               FormatBytes(a.CompressedBytes()).c_str(),
               100.0 * static_cast<double>(a.CompressedBytes()) /
@@ -64,19 +75,23 @@ int main(int argc, char** argv) {
 
   // CGLS: minimizes ||Ax - b||; the normal equations A^tA x = A^t b are
   // solved implicitly using only A p (right) and A^t r (left) products.
+  // All solver vectors are allocated once; the loop runs exclusively on
+  // the engine's allocation-free *Into kernels.
   std::size_t iters = static_cast<std::size_t>(cli.GetInt("iters"));
   std::vector<double> x(a.cols(), 0.0);
-  std::vector<double> r = b;                 // r = b - A x  (x = 0)
-  std::vector<double> s = a.MultiplyLeft(r);  // s = A^t r
+  std::vector<double> r = b;                  // r = b - A x  (x = 0)
+  std::vector<double> s(a.cols());
+  a.MultiplyLeftInto(r, s);                   // s = A^t r
   std::vector<double> p = s;
+  std::vector<double> q(a.rows());
   double gamma = Dot(s, s);
   Timer timer;
   for (std::size_t k = 0; k < iters && gamma > 1e-24; ++k) {
-    std::vector<double> q = a.MultiplyRight(p);  // q = A p
+    a.MultiplyRightInto(p, q);                // q = A p
     double alpha = gamma / Dot(q, q);
     for (std::size_t i = 0; i < x.size(); ++i) x[i] += alpha * p[i];
     for (std::size_t i = 0; i < r.size(); ++i) r[i] -= alpha * q[i];
-    s = a.MultiplyLeft(r);                       // s = A^t r
+    a.MultiplyLeftInto(r, s);                 // s = A^t r
     double gamma_next = Dot(s, s);
     double beta = gamma_next / gamma;
     gamma = gamma_next;

@@ -14,6 +14,7 @@
 #include <cstring>
 #include <fstream>
 
+#include "core/any_matrix.hpp"
 #include "core/gc_matrix.hpp"
 #include "core/power_iteration.hpp"
 #include "encoding/byte_stream.hpp"
@@ -74,9 +75,21 @@ int main(int argc, char** argv) {
   try {
     if (command == "compress") {
       if (cli.positional().size() != 3) return Usage();
-      DenseMatrix dense = LoadDense(input);
       GcBuildOptions options;
-      options.format = FormatByName(cli.GetString("format"));
+      try {
+        options.format = FormatByName(cli.GetString("format"));
+      } catch (const std::invalid_argument& e) {
+        // The shared name parser already lists the valid gc formats; add
+        // the full engine spec list for users coming from the library API.
+        std::fprintf(stderr, "bad --format: %s\n", e.what());
+        std::fprintf(stderr, "engine spec strings (AnyMatrix::Build):");
+        for (const std::string& spec : AnyMatrix::ListSpecs()) {
+          std::fprintf(stderr, " %s", spec.c_str());
+        }
+        std::fprintf(stderr, "\n");
+        return 2;
+      }
+      DenseMatrix dense = LoadDense(input);
       GcMatrix compressed = GcMatrix::FromDense(dense, options);
       SaveCompressed(compressed, cli.positional()[2]);
       std::printf("%s: %s -> %s (%.2f%% of dense, format %s)\n",
@@ -95,7 +108,8 @@ int main(int argc, char** argv) {
     } else if (command == "multiply") {
       GcMatrix compressed = LoadCompressed(input);
       std::size_t iters = static_cast<std::size_t>(cli.GetInt("iters"));
-      PowerIterationResult result = RunPowerIteration(compressed, iters);
+      PowerIterationResult result =
+          RunPowerIteration(AnyMatrix::Ref(compressed), iters);
       std::printf("%zu iterations of y=Mx; x=(y^tM)/|.|_inf : %.4f s/iter, "
                   "peak %s\n",
                   result.iterations, result.seconds_per_iteration,

@@ -10,10 +10,13 @@
 // vector -- without ever materializing the dense matrix. It reports the
 // artifact size on the wire vs dense, the one-off load time, and the
 // per-request latency, i.e. the numbers an ML-serving engineer would look
-// at before adopting the format.
+// at before adopting the format. Scoring requests dispatch through the
+// AnyMatrix engine API with preallocated buffers, so the serving loop is
+// backend-generic and allocation-free.
 
 #include <cstdio>
 
+#include "core/any_matrix.hpp"
 #include "core/gc_matrix.hpp"
 #include "encoding/byte_stream.hpp"
 #include "matrix/datasets.hpp"
@@ -38,7 +41,12 @@ int main(int argc, char** argv) {
 
   // ---- Producer side: compress and serialize the deployment artifact.
   GcBuildOptions options;
-  options.format = FormatByName(cli.GetString("format"));
+  try {
+    options.format = FormatByName(cli.GetString("format"));
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "bad --format: %s\n", e.what());
+    return 2;
+  }
   GcMatrix model = GcMatrix::FromDense(dense, options);
   ByteWriter writer;
   writer.PutVector(model.dictionary());
@@ -55,20 +63,22 @@ int main(int argc, char** argv) {
   ByteReader reader(wire);
   auto dictionary = std::make_shared<const std::vector<double>>(
       reader.GetVector<double>());
-  GcMatrix served = GcMatrix::Deserialize(&reader, dictionary);
-  std::printf("loaded in %s (%zu rules, |C| = %zu)\n",
-              FormatSeconds(load_timer.Seconds()).c_str(),
-              served.rule_count(), served.final_sequence_length());
+  GcMatrix loaded_model = GcMatrix::Deserialize(&reader, dictionary);
+  AnyMatrix served = AnyMatrix::Wrap(std::move(loaded_model));
+  std::printf("loaded %s in %s\n", served.FormatTag().c_str(),
+              FormatSeconds(load_timer.Seconds()).c_str());
 
-  // ...then answer scoring requests straight off the compressed form.
+  // ...then answer scoring requests straight off the compressed form,
+  // through the engine API with buffers allocated once up front.
   Rng rng(777);
   std::size_t batches = static_cast<std::size_t>(cli.GetInt("batches"));
+  std::vector<double> weights(served.cols());
+  std::vector<double> scores(served.rows());
   Timer serve_timer;
   double checksum = 0.0;
   for (std::size_t request = 0; request < batches; ++request) {
-    std::vector<double> weights(served.cols());
     for (auto& w : weights) w = rng.NextGaussian();
-    std::vector<double> scores = served.MultiplyRight(weights);
+    served.MultiplyRightInto(weights, scores);
     checksum += scores[request % scores.size()];
   }
   double total = serve_timer.Seconds();

@@ -5,6 +5,8 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "util/enum_names.hpp"
+
 namespace gcm {
 namespace {
 
@@ -112,6 +114,14 @@ const char* ClaEncodingName(ClaEncoding encoding) {
       return "OLE";
   }
   return "?";
+}
+
+ClaEncoding ClaEncodingByName(const std::string& name) {
+  return detail::EnumByName<ClaEncoding>(name, "CLA encoding",
+                                         {{"UC", ClaEncoding::kUc},
+                                          {"DDC", ClaEncoding::kDdc},
+                                          {"RLE", ClaEncoding::kRle},
+                                          {"OLE", ClaEncoding::kOle}});
 }
 
 u64 ClaMatrix::Group::SizeInBytes() const {
@@ -286,8 +296,8 @@ u64 ClaMatrix::CompressedBytes() const {
 }
 
 void ClaMatrix::MultiplyRightGroup(const Group& group,
-                                   const std::vector<double>& x,
-                                   std::vector<double>* y) const {
+                                   std::span<const double> x,
+                                   std::span<double> y) const {
   const std::size_t g = group.columns.size();
   // Pre-aggregation: dot product of every dictionary tuple with the group
   // slice of x, computed once (CLA's core MVM optimization).
@@ -304,20 +314,20 @@ void ClaMatrix::MultiplyRightGroup(const Group& group,
         double acc = 0.0;
         const double* row = group.uc_values.data() + r * g;
         for (std::size_t k = 0; k < g; ++k) acc += row[k] * x[group.columns[k]];
-        (*y)[r] += acc;
+        y[r] += acc;
       }
       break;
     case ClaEncoding::kDdc:
       for (std::size_t r = 0; r < rows_; ++r) {
         u32 id = group.ddc_ids[r];
-        if (id < group.tuple_count) (*y)[r] += tuple_dot[id];
+        if (id < group.tuple_count) y[r] += tuple_dot[id];
       }
       break;
     case ClaEncoding::kRle:
       for (const Group::Run& run : group.rle_runs) {
         double v = tuple_dot[run.tuple];
         for (u32 r = run.start; r < run.start + run.length; ++r) {
-          (*y)[r] += v;
+          y[r] += v;
         }
       }
       break;
@@ -326,7 +336,7 @@ void ClaMatrix::MultiplyRightGroup(const Group& group,
         double v = tuple_dot[t];
         for (u32 idx = group.ole_offsets[t]; idx < group.ole_offsets[t + 1];
              ++idx) {
-          (*y)[group.ole_rows[idx]] += v;
+          y[group.ole_rows[idx]] += v;
         }
       }
       break;
@@ -334,8 +344,8 @@ void ClaMatrix::MultiplyRightGroup(const Group& group,
 }
 
 void ClaMatrix::MultiplyLeftGroup(const Group& group,
-                                  const std::vector<double>& y,
-                                  std::vector<double>* x) const {
+                                  std::span<const double> y,
+                                  std::span<double> x) const {
   const std::size_t g = group.columns.size();
   if (group.encoding == ClaEncoding::kUc) {
     for (std::size_t r = 0; r < rows_; ++r) {
@@ -343,7 +353,7 @@ void ClaMatrix::MultiplyLeftGroup(const Group& group,
       if (scale == 0.0) continue;
       const double* row = group.uc_values.data() + r * g;
       for (std::size_t k = 0; k < g; ++k) {
-        (*x)[group.columns[k]] += scale * row[k];
+        x[group.columns[k]] += scale * row[k];
       }
     }
     return;
@@ -382,45 +392,60 @@ void ClaMatrix::MultiplyLeftGroup(const Group& group,
     if (weight == 0.0) continue;
     const double* tuple = group.dictionary.data() + t * g;
     for (std::size_t k = 0; k < g; ++k) {
-      (*x)[group.columns[k]] += weight * tuple[k];
+      x[group.columns[k]] += weight * tuple[k];
     }
   }
 }
 
 std::vector<double> ClaMatrix::MultiplyRight(const std::vector<double>& x,
                                              ThreadPool* pool) const {
-  GCM_CHECK_MSG(x.size() == cols_, "MultiplyRight: wrong vector length");
-  if (pool == nullptr || groups_.size() <= 1) {
-    std::vector<double> y(rows_, 0.0);
-    for (const Group& group : groups_) MultiplyRightGroup(group, x, &y);
-    return y;
-  }
-  // Groups write to overlapping rows, so each task uses a private partial.
-  std::vector<std::vector<double>> partials(groups_.size());
-  pool->ParallelFor(groups_.size(), [&](std::size_t g) {
-    partials[g].assign(rows_, 0.0);
-    MultiplyRightGroup(groups_[g], x, &partials[g]);
-  });
-  std::vector<double> y(rows_, 0.0);
-  for (const auto& partial : partials) {
-    for (std::size_t r = 0; r < rows_; ++r) y[r] += partial[r];
-  }
+  std::vector<double> y(rows_);
+  MultiplyRightInto(x, y, pool);
   return y;
 }
 
 std::vector<double> ClaMatrix::MultiplyLeft(const std::vector<double>& y,
                                             ThreadPool* pool) const {
-  GCM_CHECK_MSG(y.size() == rows_, "MultiplyLeft: wrong vector length");
-  std::vector<double> x(cols_, 0.0);
+  std::vector<double> x(cols_);
+  MultiplyLeftInto(y, x, pool);
+  return x;
+}
+
+void ClaMatrix::MultiplyRightInto(std::span<const double> x,
+                                  std::span<double> y,
+                                  ThreadPool* pool) const {
+  GCM_CHECK_MSG(x.size() == cols_, "MultiplyRight: wrong vector length");
+  GCM_CHECK_MSG(y.size() == rows_, "MultiplyRight: wrong output length");
+  std::fill(y.begin(), y.end(), 0.0);
   if (pool == nullptr || groups_.size() <= 1) {
-    for (const Group& group : groups_) MultiplyLeftGroup(group, y, &x);
-    return x;
+    for (const Group& group : groups_) MultiplyRightGroup(group, x, y);
+    return;
+  }
+  // Groups write to overlapping rows, so each task uses a private partial.
+  std::vector<std::vector<double>> partials(groups_.size());
+  pool->ParallelFor(groups_.size(), [&](std::size_t g) {
+    partials[g].assign(rows_, 0.0);
+    MultiplyRightGroup(groups_[g], x, partials[g]);
+  });
+  for (const auto& partial : partials) {
+    for (std::size_t r = 0; r < rows_; ++r) y[r] += partial[r];
+  }
+}
+
+void ClaMatrix::MultiplyLeftInto(std::span<const double> y,
+                                 std::span<double> x,
+                                 ThreadPool* pool) const {
+  GCM_CHECK_MSG(y.size() == rows_, "MultiplyLeft: wrong vector length");
+  GCM_CHECK_MSG(x.size() == cols_, "MultiplyLeft: wrong output length");
+  std::fill(x.begin(), x.end(), 0.0);
+  if (pool == nullptr || groups_.size() <= 1) {
+    for (const Group& group : groups_) MultiplyLeftGroup(group, y, x);
+    return;
   }
   // Groups own disjoint column sets, so parallel writes cannot collide.
   pool->ParallelFor(groups_.size(), [&](std::size_t g) {
-    MultiplyLeftGroup(groups_[g], y, &x);
+    MultiplyLeftGroup(groups_[g], y, x);
   });
-  return x;
 }
 
 DenseMatrix ClaMatrix::ToDense() const {

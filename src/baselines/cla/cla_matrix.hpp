@@ -27,6 +27,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -39,6 +40,11 @@ namespace gcm {
 enum class ClaEncoding { kUc, kDdc, kRle, kOle };
 
 const char* ClaEncodingName(ClaEncoding encoding);
+
+/// Inverse of ClaEncodingName; the round trip name -> enum -> name is
+/// total. Throws std::invalid_argument naming the offending string on a
+/// miss.
+ClaEncoding ClaEncodingByName(const std::string& name);
 
 struct ClaOptions {
   bool co_code = true;           ///< enable column grouping (ablation knob)
@@ -70,6 +76,14 @@ class ClaMatrix {
                                     ThreadPool* pool = nullptr) const;
   std::vector<double> MultiplyLeft(const std::vector<double>& y,
                                    ThreadPool* pool = nullptr) const;
+
+  /// Allocation-free kernels; the caller-provided output is fully
+  /// overwritten. The pooled right-multiplication still allocates one
+  /// partial vector per group (groups scatter to overlapping rows).
+  void MultiplyRightInto(std::span<const double> x, std::span<double> y,
+                         ThreadPool* pool = nullptr) const;
+  void MultiplyLeftInto(std::span<const double> y, std::span<double> x,
+                        ThreadPool* pool = nullptr) const;
 
   DenseMatrix ToDense() const;
 
@@ -104,10 +118,10 @@ class ClaMatrix {
     u64 SizeInBytes() const;
   };
 
-  void MultiplyRightGroup(const Group& group, const std::vector<double>& x,
-                          std::vector<double>* y) const;
-  void MultiplyLeftGroup(const Group& group, const std::vector<double>& y,
-                         std::vector<double>* x) const;
+  void MultiplyRightGroup(const Group& group, std::span<const double> x,
+                          std::span<double> y) const;
+  void MultiplyLeftGroup(const Group& group, std::span<const double> y,
+                         std::span<double> x) const;
 
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;

@@ -1,0 +1,560 @@
+#include "core/any_matrix.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <functional>
+#include <sstream>
+#include <stdexcept>
+#include <string_view>
+#include <type_traits>
+
+#include "baselines/cla/cla_matrix.hpp"
+#include "core/blocked_matrix.hpp"
+#include "core/format_advisor.hpp"
+#include "core/gc_matrix.hpp"
+#include "matrix/csr.hpp"
+#include "matrix/csrv.hpp"
+#include "matrix/dense_matrix.hpp"
+#include "matrix/sparse_builder.hpp"
+#include "util/thread_pool.hpp"
+
+namespace gcm {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Backend adapters
+// ---------------------------------------------------------------------------
+
+/// Matches backends whose *Into kernels take the worker pool directly
+/// (BlockedGcMatrix, ClaMatrix); the rest run single-threaded per call.
+template <typename M>
+concept HasPoolInto = requires(const M& m, std::span<const double> in,
+                               std::span<double> out, ThreadPool* pool) {
+  m.MultiplyRightInto(in, out, pool);
+};
+
+template <typename M>
+u64 BackendBytes(const M& m) {
+  if constexpr (requires { m.CompressedBytes(); }) {
+    return m.CompressedBytes();
+  } else if constexpr (requires { m.SizeInBytes(); }) {
+    return m.SizeInBytes();
+  } else {
+    return m.UncompressedBytes();
+  }
+}
+
+template <typename M>
+std::string BackendTag(const M& m) {
+  if constexpr (std::is_same_v<M, DenseMatrix>) {
+    return "dense";
+  } else if constexpr (std::is_same_v<M, CsrMatrix>) {
+    return "csr";
+  } else if constexpr (std::is_same_v<M, CsrIvMatrix>) {
+    return "csr_iv";
+  } else if constexpr (std::is_same_v<M, CsrvMatrix>) {
+    return "csrv";
+  } else if constexpr (std::is_same_v<M, GcMatrix>) {
+    return std::string("gcm:") + FormatName(m.format());
+  } else if constexpr (std::is_same_v<M, BlockedGcMatrix>) {
+    std::string tag = "gcm:";
+    tag += m.block_count() > 0 ? FormatName(m.block(0).format()) : "re_32";
+    tag += "?blocks=" + std::to_string(m.block_count());
+    return tag;
+  } else {
+    static_assert(std::is_same_v<M, ClaMatrix>, "unmapped backend type");
+    return "cla";
+  }
+}
+
+/// One adapter class per backend type; owns the backend (Wrap) or views it
+/// (Ref). Size/aliasing preconditions are validated by AnyMatrix before
+/// dispatch, so adapters just forward.
+template <typename M>
+class KernelAdapter final : public IMatrixKernel {
+ public:
+  explicit KernelAdapter(M matrix)
+      : owned_(std::make_unique<const M>(std::move(matrix))),
+        matrix_(owned_.get()) {}
+  explicit KernelAdapter(const M* matrix) : matrix_(matrix) {}
+
+  std::size_t rows() const override { return matrix_->rows(); }
+  std::size_t cols() const override { return matrix_->cols(); }
+  u64 CompressedBytes() const override { return BackendBytes(*matrix_); }
+  std::string FormatTag() const override { return BackendTag(*matrix_); }
+
+  void MultiplyRightInto(std::span<const double> x, std::span<double> y,
+                         const MulContext& ctx) const override {
+    if constexpr (HasPoolInto<M>) {
+      matrix_->MultiplyRightInto(x, y, ctx.pool);
+    } else {
+      matrix_->MultiplyRightInto(x, y);
+    }
+  }
+
+  void MultiplyLeftInto(std::span<const double> y, std::span<double> x,
+                        const MulContext& ctx) const override {
+    if constexpr (HasPoolInto<M>) {
+      matrix_->MultiplyLeftInto(y, x, ctx.pool);
+    } else {
+      matrix_->MultiplyLeftInto(y, x);
+    }
+  }
+
+  DenseMatrix ToDense() const override {
+    if constexpr (std::is_same_v<M, DenseMatrix>) {
+      return *matrix_;
+    } else {
+      return matrix_->ToDense();
+    }
+  }
+
+ private:
+  std::unique_ptr<const M> owned_;  ///< null for Ref adapters
+  const M* matrix_;
+};
+
+template <typename M>
+AnyMatrix MakeOwned(M matrix) {
+  return AnyMatrix(std::make_shared<KernelAdapter<M>>(std::move(matrix)));
+}
+
+template <typename M>
+AnyMatrix MakeRef(const M& matrix) {
+  return AnyMatrix(std::make_shared<KernelAdapter<M>>(&matrix));
+}
+
+// ---------------------------------------------------------------------------
+// Spec registry
+// ---------------------------------------------------------------------------
+
+struct SpecFamily {
+  std::string_view name;
+  /// Allowed :variant values; empty = the family takes no variant.
+  std::vector<std::string_view> variants;
+  /// Allowed ?key names.
+  std::vector<std::string_view> keys;
+  AnyMatrix (*build)(const DenseMatrix&, const MatrixSpec&);
+};
+
+AnyMatrix BuildDenseSpec(const DenseMatrix& dense, const MatrixSpec&) {
+  return AnyMatrix::Wrap(DenseMatrix(dense));
+}
+
+AnyMatrix BuildCsrSpec(const DenseMatrix& dense, const MatrixSpec&) {
+  return AnyMatrix::Wrap(CsrMatrix::FromDense(dense));
+}
+
+AnyMatrix BuildCsrIvSpec(const DenseMatrix& dense, const MatrixSpec&) {
+  return AnyMatrix::Wrap(CsrIvMatrix::FromDense(dense));
+}
+
+AnyMatrix BuildCsrvSpec(const DenseMatrix& dense, const MatrixSpec&) {
+  return AnyMatrix::Wrap(CsrvMatrix::FromDense(dense));
+}
+
+GcBuildOptions GcOptionsFromSpec(const MatrixSpec& spec) {
+  GcBuildOptions options;
+  options.format =
+      spec.variant.empty() ? GcFormat::kRe32 : FormatByName(spec.variant);
+  options.fold_bits = static_cast<u32>(spec.GetSize("fold_bits", 12));
+  options.max_rules = spec.GetSize("max_rules", 0);
+  return options;
+}
+
+AnyMatrix BuildGcmSpec(const DenseMatrix& dense, const MatrixSpec& spec) {
+  GcBuildOptions options = GcOptionsFromSpec(spec);
+  std::size_t blocks = spec.GetSize("blocks", 1);
+  if (blocks > 1) {
+    return AnyMatrix::Wrap(BlockedGcMatrix::Build(dense, blocks, options));
+  }
+  return AnyMatrix::Wrap(GcMatrix::FromDense(dense, options));
+}
+
+AnyMatrix BuildClaSpec(const DenseMatrix& dense, const MatrixSpec& spec) {
+  ClaOptions options;
+  options.co_code = spec.GetBool("co_code", options.co_code);
+  options.sample_rows = spec.GetSize("sample_rows", options.sample_rows);
+  options.max_group_size =
+      spec.GetSize("max_group_size", options.max_group_size);
+  options.max_candidates =
+      spec.GetSize("max_candidates", options.max_candidates);
+  return AnyMatrix::Wrap(ClaMatrix::Compress(dense, options));
+}
+
+AnyMatrix BuildAutoSpec(const DenseMatrix& dense, const MatrixSpec& spec) {
+  AdvisorConstraints constraints;
+  constraints.memory_budget_bytes = spec.GetBytes("budget", 0);
+  constraints.blocks = spec.GetSize("blocks", 1);
+  constraints.sample_rows =
+      spec.GetSize("sample_rows", constraints.sample_rows);
+  return AdviseFormat(dense, constraints, nullptr);
+}
+
+const std::vector<SpecFamily>& Registry() {
+  static const std::vector<SpecFamily> registry = {
+      {"dense", {}, {}, &BuildDenseSpec},
+      {"csr", {}, {}, &BuildCsrSpec},
+      {"csr_iv", {}, {}, &BuildCsrIvSpec},
+      {"csrv", {}, {}, &BuildCsrvSpec},
+      {"gcm",
+       {"csrv", "re_32", "re_iv", "re_ans"},
+       {"blocks", "fold_bits", "max_rules"},
+       &BuildGcmSpec},
+      {"cla",
+       {},
+       {"co_code", "sample_rows", "max_group_size", "max_candidates"},
+       &BuildClaSpec},
+      {"auto", {}, {"budget", "blocks", "sample_rows"}, &BuildAutoSpec},
+  };
+  return registry;
+}
+
+std::string RegisteredSpecsSuffix() {
+  std::ostringstream os;
+  os << " (registered specs:";
+  for (const std::string& spec : AnyMatrix::ListSpecs()) os << ' ' << spec;
+  os << ')';
+  return os.str();
+}
+
+/// Resolves the family and rejects unknown families, variants and keys;
+/// every error lists the full registered-spec set.
+const SpecFamily& ValidateSpec(const MatrixSpec& spec) {
+  const SpecFamily* family = nullptr;
+  for (const SpecFamily& candidate : Registry()) {
+    if (spec.family == candidate.name) {
+      family = &candidate;
+      break;
+    }
+  }
+  if (family == nullptr) {
+    throw std::invalid_argument("unknown matrix spec family \"" +
+                                spec.family + "\"" + RegisteredSpecsSuffix());
+  }
+  if (!spec.variant.empty() &&
+      std::find(family->variants.begin(), family->variants.end(),
+                spec.variant) == family->variants.end()) {
+    throw std::invalid_argument("unknown variant \"" + spec.variant +
+                                "\" for spec family \"" + spec.family + "\"" +
+                                RegisteredSpecsSuffix());
+  }
+  for (const auto& [key, value] : spec.params) {
+    if (std::find(family->keys.begin(), family->keys.end(), key) ==
+        family->keys.end()) {
+      std::ostringstream os;
+      os << "unknown key \"" << key << "\" for spec family \"" << spec.family
+         << '"';
+      if (family->keys.empty()) {
+        os << " (the family takes no keys)";
+      } else {
+        os << " (allowed:";
+        for (std::string_view allowed : family->keys) os << ' ' << allowed;
+        os << ')';
+      }
+      os << RegisteredSpecsSuffix();
+      throw std::invalid_argument(os.str());
+    }
+  }
+  return *family;
+}
+
+void CheckNoOverlap(std::span<const double> in, std::span<const double> out,
+                    const char* what) {
+  if (in.empty() || out.empty()) return;
+  std::less_equal<const double*> le;
+  bool disjoint =
+      le(in.data() + in.size(), out.data()) ||
+      le(out.data() + out.size(), in.data());
+  GCM_CHECK_MSG(disjoint, what << ": input and output spans overlap");
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// MatrixSpec
+// ---------------------------------------------------------------------------
+
+MatrixSpec MatrixSpec::Parse(const std::string& spec) {
+  MatrixSpec out;
+  std::string head = spec;
+  std::string query;
+  if (std::size_t q = spec.find('?'); q != std::string::npos) {
+    head = spec.substr(0, q);
+    query = spec.substr(q + 1);
+  }
+  if (std::size_t colon = head.find(':'); colon != std::string::npos) {
+    out.family = head.substr(0, colon);
+    out.variant = head.substr(colon + 1);
+    if (out.variant.empty()) {
+      throw std::invalid_argument("matrix spec \"" + spec +
+                                  "\" has an empty variant after ':'");
+    }
+  } else {
+    out.family = head;
+  }
+  if (out.family.empty()) {
+    throw std::invalid_argument("matrix spec \"" + spec +
+                                "\" has an empty family name");
+  }
+  std::size_t start = 0;
+  while (start < query.size()) {
+    std::size_t amp = query.find('&', start);
+    std::string pair = query.substr(
+        start, amp == std::string::npos ? std::string::npos : amp - start);
+    if (!pair.empty()) {
+      std::size_t eq = pair.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 == pair.size()) {
+        throw std::invalid_argument("matrix spec \"" + spec +
+                                    "\": malformed key=value pair \"" + pair +
+                                    '"');
+      }
+      std::string key = pair.substr(0, eq);
+      if (out.params.count(key) != 0) {
+        throw std::invalid_argument("matrix spec \"" + spec +
+                                    "\": duplicate key \"" + key + '"');
+      }
+      out.params.emplace(std::move(key), pair.substr(eq + 1));
+    }
+    if (amp == std::string::npos) break;
+    start = amp + 1;
+  }
+  return out;
+}
+
+std::string MatrixSpec::ToString() const {
+  std::string out = family;
+  if (!variant.empty()) out += ':' + variant;
+  bool first = true;
+  for (const auto& [key, value] : params) {
+    out += first ? '?' : '&';
+    out += key + '=' + value;
+    first = false;
+  }
+  return out;
+}
+
+namespace {
+
+/// Parses the leading digit run of `value`; returns the count of consumed
+/// characters (0 = no leading digits, which also rejects the "-1" that
+/// std::stoull would silently wrap).
+std::size_t ParseLeadingDigits(const std::string& value,
+                               unsigned long long* parsed) {
+  std::size_t consumed = 0;
+  if (value.empty() ||
+      !std::isdigit(static_cast<unsigned char>(value.front()))) {
+    return 0;
+  }
+  try {
+    *parsed = std::stoull(value, &consumed);
+  } catch (const std::exception&) {
+    consumed = 0;
+  }
+  return consumed;
+}
+
+}  // namespace
+
+std::size_t MatrixSpec::GetSize(const std::string& key,
+                                std::size_t fallback) const {
+  auto it = params.find(key);
+  if (it == params.end()) return fallback;
+  const std::string& value = it->second;
+  unsigned long long parsed = 0;
+  if (ParseLeadingDigits(value, &parsed) != value.size()) {
+    throw std::invalid_argument("spec key \"" + key +
+                                "\": expected a non-negative integer, got \"" +
+                                value + '"');
+  }
+  return static_cast<std::size_t>(parsed);
+}
+
+bool MatrixSpec::GetBool(const std::string& key, bool fallback) const {
+  auto it = params.find(key);
+  if (it == params.end()) return fallback;
+  const std::string& value = it->second;
+  if (value == "1" || value == "true") return true;
+  if (value == "0" || value == "false") return false;
+  throw std::invalid_argument("spec key \"" + key +
+                              "\": expected 0/1/true/false, got \"" + value +
+                              '"');
+}
+
+u64 MatrixSpec::GetBytes(const std::string& key, u64 fallback) const {
+  auto it = params.find(key);
+  if (it == params.end()) return fallback;
+  const std::string& value = it->second;
+  unsigned long long parsed = 0;
+  std::size_t consumed = ParseLeadingDigits(value, &parsed);
+  std::string suffix = value.substr(consumed);
+  u64 unit = 0;
+  if (consumed != 0) {
+    if (suffix.empty() || suffix == "B") unit = 1;
+    if (suffix == "KB") unit = 1000ULL;
+    if (suffix == "MB") unit = 1000ULL * 1000;
+    if (suffix == "GB") unit = 1000ULL * 1000 * 1000;
+    if (suffix == "KiB") unit = 1024ULL;
+    if (suffix == "MiB") unit = 1024ULL * 1024;
+    if (suffix == "GiB") unit = 1024ULL * 1024 * 1024;
+  }
+  if (unit == 0) {
+    throw std::invalid_argument(
+        "spec key \"" + key +
+        "\": expected a byte size like 64MiB (suffixes: B KB MB GB KiB MiB "
+        "GiB), got \"" +
+        value + '"');
+  }
+  return static_cast<u64>(parsed) * unit;
+}
+
+// ---------------------------------------------------------------------------
+// AnyMatrix
+// ---------------------------------------------------------------------------
+
+AnyMatrix AnyMatrix::Build(const DenseMatrix& dense, const std::string& spec) {
+  return Build(dense, MatrixSpec::Parse(spec));
+}
+
+AnyMatrix AnyMatrix::Build(const DenseMatrix& dense, const MatrixSpec& spec) {
+  const SpecFamily& family = ValidateSpec(spec);
+  return family.build(dense, spec);
+}
+
+AnyMatrix AnyMatrix::Build(std::size_t rows, std::size_t cols,
+                           std::vector<Triplet> entries,
+                           const std::string& spec) {
+  return Build(rows, cols, std::move(entries), MatrixSpec::Parse(spec));
+}
+
+AnyMatrix AnyMatrix::Build(std::size_t rows, std::size_t cols,
+                           std::vector<Triplet> entries,
+                           const MatrixSpec& spec) {
+  ValidateSpec(spec);
+  // Dense-free ingestion where the backend supports it (the paper's
+  // matrices would not survive dense staging at full scale).
+  if (spec.family == "csr") {
+    return Wrap(CsrFromTriplets(rows, cols, std::move(entries)));
+  }
+  if (spec.family == "csrv") {
+    return Wrap(CsrvFromTriplets(rows, cols, std::move(entries)));
+  }
+  if (spec.family == "gcm") {
+    GcBuildOptions options = GcOptionsFromSpec(spec);
+    std::size_t blocks = spec.GetSize("blocks", 1);
+    if (blocks > 1) {
+      return Wrap(BlockedGcMatrix::FromCsrv(
+          CsrvFromTriplets(rows, cols, std::move(entries)), blocks, options));
+    }
+    return Wrap(GcMatrix::FromTriplets(rows, cols, std::move(entries),
+                                       options));
+  }
+  // Remaining backends compress from a dense staging copy (CsrFromTriplets
+  // also applies the triplet validation rules first).
+  return Build(CsrFromTriplets(rows, cols, std::move(entries)).ToDense(),
+               spec);
+}
+
+AnyMatrix AnyMatrix::Wrap(DenseMatrix matrix) {
+  return MakeOwned(std::move(matrix));
+}
+AnyMatrix AnyMatrix::Wrap(CsrMatrix matrix) {
+  return MakeOwned(std::move(matrix));
+}
+AnyMatrix AnyMatrix::Wrap(CsrIvMatrix matrix) {
+  return MakeOwned(std::move(matrix));
+}
+AnyMatrix AnyMatrix::Wrap(CsrvMatrix matrix) {
+  return MakeOwned(std::move(matrix));
+}
+AnyMatrix AnyMatrix::Wrap(GcMatrix matrix) {
+  return MakeOwned(std::move(matrix));
+}
+AnyMatrix AnyMatrix::Wrap(BlockedGcMatrix matrix) {
+  return MakeOwned(std::move(matrix));
+}
+AnyMatrix AnyMatrix::Wrap(ClaMatrix matrix) {
+  return MakeOwned(std::move(matrix));
+}
+
+AnyMatrix AnyMatrix::Ref(const DenseMatrix& matrix) { return MakeRef(matrix); }
+AnyMatrix AnyMatrix::Ref(const CsrMatrix& matrix) { return MakeRef(matrix); }
+AnyMatrix AnyMatrix::Ref(const CsrIvMatrix& matrix) {
+  return MakeRef(matrix);
+}
+AnyMatrix AnyMatrix::Ref(const CsrvMatrix& matrix) { return MakeRef(matrix); }
+AnyMatrix AnyMatrix::Ref(const GcMatrix& matrix) { return MakeRef(matrix); }
+AnyMatrix AnyMatrix::Ref(const BlockedGcMatrix& matrix) {
+  return MakeRef(matrix);
+}
+AnyMatrix AnyMatrix::Ref(const ClaMatrix& matrix) { return MakeRef(matrix); }
+
+std::vector<std::string> AnyMatrix::ListSpecs() {
+  std::vector<std::string> specs;
+  for (const SpecFamily& family : Registry()) {
+    if (family.variants.empty()) {
+      specs.emplace_back(family.name);
+      continue;
+    }
+    for (std::string_view variant : family.variants) {
+      specs.push_back(std::string(family.name) + ':' + std::string(variant));
+    }
+  }
+  return specs;
+}
+
+const IMatrixKernel& AnyMatrix::kernel() const {
+  GCM_CHECK_MSG(kernel_ != nullptr, "operation on an empty AnyMatrix");
+  return *kernel_;
+}
+
+std::size_t AnyMatrix::rows() const { return kernel().rows(); }
+std::size_t AnyMatrix::cols() const { return kernel().cols(); }
+u64 AnyMatrix::CompressedBytes() const { return kernel().CompressedBytes(); }
+std::string AnyMatrix::FormatTag() const { return kernel().FormatTag(); }
+
+void AnyMatrix::MultiplyRightInto(std::span<const double> x,
+                                  std::span<double> y,
+                                  const MulContext& ctx) const {
+  const IMatrixKernel& k = kernel();
+  GCM_CHECK_MSG(x.size() == k.cols(), "MultiplyRightInto: input has "
+                                          << x.size() << " entries, expected "
+                                          << k.cols());
+  GCM_CHECK_MSG(y.size() == k.rows(), "MultiplyRightInto: output has "
+                                          << y.size() << " entries, expected "
+                                          << k.rows());
+  CheckNoOverlap(x, y, "MultiplyRightInto");
+  k.MultiplyRightInto(x, y, ctx);
+}
+
+void AnyMatrix::MultiplyLeftInto(std::span<const double> y,
+                                 std::span<double> x,
+                                 const MulContext& ctx) const {
+  const IMatrixKernel& k = kernel();
+  GCM_CHECK_MSG(y.size() == k.rows(), "MultiplyLeftInto: input has "
+                                          << y.size() << " entries, expected "
+                                          << k.rows());
+  GCM_CHECK_MSG(x.size() == k.cols(), "MultiplyLeftInto: output has "
+                                          << x.size() << " entries, expected "
+                                          << k.cols());
+  CheckNoOverlap(y, x, "MultiplyLeftInto");
+  k.MultiplyLeftInto(y, x, ctx);
+}
+
+std::vector<double> AnyMatrix::MultiplyRight(std::span<const double> x,
+                                             const MulContext& ctx) const {
+  std::vector<double> y(rows());
+  MultiplyRightInto(x, y, ctx);
+  return y;
+}
+
+std::vector<double> AnyMatrix::MultiplyLeft(std::span<const double> y,
+                                            const MulContext& ctx) const {
+  std::vector<double> x(cols());
+  MultiplyLeftInto(y, x, ctx);
+  return x;
+}
+
+DenseMatrix AnyMatrix::ToDense() const { return kernel().ToDense(); }
+
+}  // namespace gcm

@@ -1,0 +1,204 @@
+// The type-erased engine API: every matrix backend behind one interface.
+//
+// The paper's central claim is that grammar-compressed, CLA-compressed and
+// plain sparse matrices are *interchangeable* operands for matrix-vector
+// iteration. This module makes that literal: seven concrete backends
+// (DenseMatrix, CsrMatrix, CsrIvMatrix, CsrvMatrix, GcMatrix,
+// BlockedGcMatrix, ClaMatrix) are adapted to one kernel interface,
+//
+//    caller code ---> AnyMatrix (value wrapper)
+//                        |
+//                        v
+//                  IMatrixKernel (type-erased interface)
+//                        |
+//        +------+------+-+-----+--------+-----------+------+
+//        v      v      v       v        v           v      v
+//      dense   csr   csr_iv   csrv   GcMatrix   BlockedGc  CLA
+//
+// and a spec-string factory turns a short description into a built matrix:
+//
+//    AnyMatrix m = AnyMatrix::Build(dense, "gcm:re_ans?blocks=8");
+//    m.MultiplyRightInto(x, y, {.pool = &pool});
+//
+// Spec grammar:   family[:variant][?key=value[&key=value]...]
+//
+//    dense                          row-major doubles (reference)
+//    csr                            classical CSR
+//    csr_iv                         CSR-IV (dictionary-indexed values)
+//    csrv                           CSRV (S, V) of Section 2
+//    gcm[:csrv|re_32|re_iv|re_ans]  RePair grammar compression (Section 3/4)
+//        ?blocks=N                  row blocks (Section 4.1; N>1 = blocked)
+//        &fold_bits=N &max_rules=N  rANS folding / RePair rule cap
+//    cla                            Compressed Linear Algebra baseline
+//        ?co_code=0|1 &sample_rows=N &max_group_size=N &max_candidates=N
+//    auto                           format advisor (Section 4.2 mechanism)
+//        ?budget=64MiB &blocks=N &sample_rows=N
+//
+// Unknown families, variants or keys are rejected with an error listing
+// every registered spec (AnyMatrix::ListSpecs()).
+//
+// All kernels are allocation-free: input and output are caller-provided
+// spans, and a uniform MulContext carries the execution resources, so the
+// same loop body serves every backend (see core/power_iteration.hpp).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace gcm {
+
+class DenseMatrix;
+class CsrMatrix;
+class CsrIvMatrix;
+class CsrvMatrix;
+class GcMatrix;
+class BlockedGcMatrix;
+class ClaMatrix;
+class ThreadPool;
+struct Triplet;
+
+/// Uniform execution context handed to every engine kernel. Backends that
+/// cannot exploit a field ignore it.
+struct MulContext {
+  ThreadPool* pool = nullptr;  ///< worker pool; nullptr = sequential
+};
+
+/// The kernel interface every backend adapter implements. Outputs are
+/// caller-provided spans that are fully overwritten; inputs and outputs
+/// must not alias (AnyMatrix enforces both preconditions).
+class IMatrixKernel {
+ public:
+  virtual ~IMatrixKernel() = default;
+
+  virtual std::size_t rows() const = 0;
+  virtual std::size_t cols() const = 0;
+
+  /// Bytes of the backend's representation (compressed where applicable).
+  virtual u64 CompressedBytes() const = 0;
+
+  /// Stable spec-style identity, e.g. "gcm:re_ans?blocks=8".
+  virtual std::string FormatTag() const = 0;
+
+  /// y = M x  (x: cols entries, y: rows entries).
+  virtual void MultiplyRightInto(std::span<const double> x,
+                                 std::span<double> y,
+                                 const MulContext& ctx) const = 0;
+
+  /// x^t = y^t M  (y: rows entries, x: cols entries).
+  virtual void MultiplyLeftInto(std::span<const double> y,
+                                std::span<double> x,
+                                const MulContext& ctx) const = 0;
+
+  /// Materializes the dense equivalent (testing / conversion).
+  virtual DenseMatrix ToDense() const = 0;
+};
+
+/// A parsed spec string: family[:variant][?key=value[&key=value]...].
+/// Parse errors throw std::invalid_argument naming the offending token.
+struct MatrixSpec {
+  std::string family;
+  std::string variant;                        ///< "" when absent
+  std::map<std::string, std::string> params;  ///< ?key=value pairs
+
+  static MatrixSpec Parse(const std::string& spec);
+  std::string ToString() const;
+
+  /// Typed accessors; throw std::invalid_argument on malformed values.
+  std::size_t GetSize(const std::string& key, std::size_t fallback) const;
+  bool GetBool(const std::string& key, bool fallback) const;
+  /// Accepts raw byte counts and the suffixes KB/MB/GB/KiB/MiB/GiB/B.
+  u64 GetBytes(const std::string& key, u64 fallback) const;
+};
+
+/// Value wrapper around a type-erased kernel. Cheap to copy (kernels are
+/// immutable and shared), safe to hand across threads for const use.
+class AnyMatrix {
+ public:
+  AnyMatrix() = default;
+
+  /// Extension seam: any IMatrixKernel implementation becomes an engine
+  /// matrix (future backends register the same way the built-ins do).
+  explicit AnyMatrix(std::shared_ptr<const IMatrixKernel> kernel)
+      : kernel_(std::move(kernel)) {}
+
+  /// Builds a backend from `dense` according to a spec string / parsed
+  /// spec. Unknown families, variants or keys throw std::invalid_argument
+  /// listing every registered spec.
+  static AnyMatrix Build(const DenseMatrix& dense, const std::string& spec);
+  static AnyMatrix Build(const DenseMatrix& dense, const MatrixSpec& spec);
+
+  /// Sparse ingestion: builds from COO triplets. csr / csrv / gcm go
+  /// through the dense-free pipeline of matrix/sparse_builder.hpp; the
+  /// remaining backends stage a dense copy.
+  static AnyMatrix Build(std::size_t rows, std::size_t cols,
+                         std::vector<Triplet> entries,
+                         const std::string& spec);
+  static AnyMatrix Build(std::size_t rows, std::size_t cols,
+                         std::vector<Triplet> entries, const MatrixSpec& spec);
+
+  /// Adopts an already-built backend (takes ownership by move).
+  static AnyMatrix Wrap(DenseMatrix matrix);
+  static AnyMatrix Wrap(CsrMatrix matrix);
+  static AnyMatrix Wrap(CsrIvMatrix matrix);
+  static AnyMatrix Wrap(CsrvMatrix matrix);
+  static AnyMatrix Wrap(GcMatrix matrix);
+  static AnyMatrix Wrap(BlockedGcMatrix matrix);
+  static AnyMatrix Wrap(ClaMatrix matrix);
+
+  /// Non-owning view of an existing backend; the caller keeps `matrix`
+  /// alive for the lifetime of the returned AnyMatrix (and its copies).
+  /// Temporaries are rejected at compile time -- pass those to Wrap.
+  static AnyMatrix Ref(const DenseMatrix& matrix);
+  static AnyMatrix Ref(const CsrMatrix& matrix);
+  static AnyMatrix Ref(const CsrIvMatrix& matrix);
+  static AnyMatrix Ref(const CsrvMatrix& matrix);
+  static AnyMatrix Ref(const GcMatrix& matrix);
+  static AnyMatrix Ref(const BlockedGcMatrix& matrix);
+  static AnyMatrix Ref(const ClaMatrix& matrix);
+  static AnyMatrix Ref(DenseMatrix&&) = delete;
+  static AnyMatrix Ref(CsrMatrix&&) = delete;
+  static AnyMatrix Ref(CsrIvMatrix&&) = delete;
+  static AnyMatrix Ref(CsrvMatrix&&) = delete;
+  static AnyMatrix Ref(GcMatrix&&) = delete;
+  static AnyMatrix Ref(BlockedGcMatrix&&) = delete;
+  static AnyMatrix Ref(ClaMatrix&&) = delete;
+
+  /// Every registered spec, one canonical buildable string per backend
+  /// variant (the list error messages and conformance tests iterate).
+  static std::vector<std::string> ListSpecs();
+
+  bool valid() const { return kernel_ != nullptr; }
+
+  std::size_t rows() const;
+  std::size_t cols() const;
+  u64 CompressedBytes() const;
+  std::string FormatTag() const;
+
+  /// Allocation-free kernels; validate sizes and non-aliasing, then
+  /// dispatch (gcm::Error on precondition violation).
+  void MultiplyRightInto(std::span<const double> x, std::span<double> y,
+                         const MulContext& ctx = {}) const;
+  void MultiplyLeftInto(std::span<const double> y, std::span<double> x,
+                        const MulContext& ctx = {}) const;
+
+  /// Allocating conveniences over the *Into kernels.
+  std::vector<double> MultiplyRight(std::span<const double> x,
+                                    const MulContext& ctx = {}) const;
+  std::vector<double> MultiplyLeft(std::span<const double> y,
+                                   const MulContext& ctx = {}) const;
+
+  DenseMatrix ToDense() const;
+
+  const IMatrixKernel& kernel() const;
+
+ private:
+  std::shared_ptr<const IMatrixKernel> kernel_;
+};
+
+}  // namespace gcm

@@ -43,6 +43,24 @@ BlockedGcMatrix BlockedGcMatrix::Build(
   return out;
 }
 
+BlockedGcMatrix BlockedGcMatrix::FromCsrv(const CsrvMatrix& csrv,
+                                          std::size_t blocks,
+                                          const GcBuildOptions& options) {
+  GCM_CHECK_MSG(blocks >= 1, "block count must be positive");
+  BlockedGcMatrix out;
+  out.rows_ = csrv.rows();
+  out.cols_ = csrv.cols();
+  auto dict = std::make_shared<const std::vector<double>>(csrv.dictionary());
+  std::size_t row_begin = 0;
+  for (const CsrvMatrix& part : csrv.SplitRowBlocks(blocks)) {
+    out.row_offsets_.push_back(row_begin);
+    out.blocks_.push_back(GcMatrix::FromSequence(
+        part.sequence(), part.rows(), csrv.cols(), dict, options));
+    row_begin += part.rows();
+  }
+  return out;
+}
+
 u64 BlockedGcMatrix::CompressedBytes() const {
   u64 total = blocks_.empty()
                   ? 0
@@ -53,40 +71,55 @@ u64 BlockedGcMatrix::CompressedBytes() const {
 
 std::vector<double> BlockedGcMatrix::MultiplyRight(
     const std::vector<double>& x, ThreadPool* pool) const {
-  GCM_CHECK_MSG(x.size() == cols_, "MultiplyRight: wrong vector length");
-  std::vector<double> y(rows_, 0.0);
-  auto run_block = [&](std::size_t b) {
-    std::vector<double> partial = blocks_[b].MultiplyRight(x);
-    std::copy(partial.begin(), partial.end(), y.begin() + row_offsets_[b]);
-  };
-  if (pool != nullptr) {
-    pool->ParallelFor(blocks_.size(), run_block);
-  } else {
-    for (std::size_t b = 0; b < blocks_.size(); ++b) run_block(b);
-  }
+  std::vector<double> y(rows_);
+  MultiplyRightInto(x, y, pool);
   return y;
 }
 
 std::vector<double> BlockedGcMatrix::MultiplyLeft(const std::vector<double>& y,
                                                   ThreadPool* pool) const {
-  GCM_CHECK_MSG(y.size() == rows_, "MultiplyLeft: wrong vector length");
-  std::vector<std::vector<double>> partials(blocks_.size());
+  std::vector<double> x(cols_);
+  MultiplyLeftInto(y, x, pool);
+  return x;
+}
+
+void BlockedGcMatrix::MultiplyRightInto(std::span<const double> x,
+                                        std::span<double> y,
+                                        ThreadPool* pool) const {
+  GCM_CHECK_MSG(x.size() == cols_, "MultiplyRight: wrong vector length");
+  GCM_CHECK_MSG(y.size() == rows_, "MultiplyRight: wrong output length");
+  // Blocks own disjoint row ranges of y, so they write into it directly.
   auto run_block = [&](std::size_t b) {
-    std::vector<double> block_y(
-        y.begin() + row_offsets_[b],
-        y.begin() + row_offsets_[b] + blocks_[b].rows());
-    partials[b] = blocks_[b].MultiplyLeft(block_y);
+    blocks_[b].MultiplyRightInto(
+        x, y.subspan(row_offsets_[b], blocks_[b].rows()));
   };
   if (pool != nullptr) {
     pool->ParallelFor(blocks_.size(), run_block);
   } else {
     for (std::size_t b = 0; b < blocks_.size(); ++b) run_block(b);
   }
-  std::vector<double> x(cols_, 0.0);
+}
+
+void BlockedGcMatrix::MultiplyLeftInto(std::span<const double> y,
+                                       std::span<double> x,
+                                       ThreadPool* pool) const {
+  GCM_CHECK_MSG(y.size() == rows_, "MultiplyLeft: wrong vector length");
+  GCM_CHECK_MSG(x.size() == cols_, "MultiplyLeft: wrong output length");
+  std::vector<std::vector<double>> partials(blocks_.size());
+  auto run_block = [&](std::size_t b) {
+    partials[b].resize(cols_);
+    blocks_[b].MultiplyLeftInto(y.subspan(row_offsets_[b], blocks_[b].rows()),
+                                partials[b]);
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(blocks_.size(), run_block);
+  } else {
+    for (std::size_t b = 0; b < blocks_.size(); ++b) run_block(b);
+  }
+  std::fill(x.begin(), x.end(), 0.0);
   for (const std::vector<double>& partial : partials) {
     for (std::size_t j = 0; j < cols_; ++j) x[j] += partial[j];
   }
-  return x;
 }
 
 DenseMatrix BlockedGcMatrix::ToDense() const {

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "core/gc_matrix.hpp"
@@ -27,6 +28,11 @@ class BlockedGcMatrix {
       const GcBuildOptions& options,
       const std::vector<std::vector<u32>>& block_orders = {});
 
+  /// Compresses an existing CSRV representation into `blocks` row blocks
+  /// without staging a dense copy (sparse-ingestion path).
+  static BlockedGcMatrix FromCsrv(const CsrvMatrix& csrv, std::size_t blocks,
+                                  const GcBuildOptions& options);
+
   std::size_t rows() const { return rows_; }
   std::size_t cols() const { return cols_; }
   std::size_t block_count() const { return blocks_.size(); }
@@ -42,6 +48,14 @@ class BlockedGcMatrix {
   /// x^t = y^t M; per-block partials summed after the parallel section.
   std::vector<double> MultiplyLeft(const std::vector<double>& y,
                                    ThreadPool* pool = nullptr) const;
+
+  /// Allocation-free kernels: each block writes its row range of `y`
+  /// directly (right) or accumulates per-block partials into `x` (left).
+  /// The caller-provided output is fully overwritten.
+  void MultiplyRightInto(std::span<const double> x, std::span<double> y,
+                         ThreadPool* pool = nullptr) const;
+  void MultiplyLeftInto(std::span<const double> y, std::span<double> x,
+                        ThreadPool* pool = nullptr) const;
 
   DenseMatrix ToDense() const;
 

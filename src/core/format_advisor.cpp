@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "core/any_matrix.hpp"
+#include "core/blocked_matrix.hpp"
 #include "util/format.hpp"
 #include "util/timer.hpp"
 
@@ -107,6 +109,20 @@ AdvisorReport AdviseFormat(const DenseMatrix& dense,
     report.recommended = smallest->format;
   }
   return report;
+}
+
+AnyMatrix AdviseFormat(const DenseMatrix& dense,
+                       const AdvisorConstraints& constraints,
+                       AdvisorReport* report) {
+  AdvisorReport advice = AdviseFormat(dense, constraints);
+  if (report != nullptr) *report = advice;
+  GcBuildOptions options;
+  options.format = advice.recommended;
+  if (constraints.blocks > 1) {
+    return AnyMatrix::Wrap(
+        BlockedGcMatrix::Build(dense, constraints.blocks, options));
+  }
+  return AnyMatrix::Wrap(GcMatrix::FromDense(dense, options));
 }
 
 }  // namespace gcm

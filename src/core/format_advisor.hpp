@@ -55,4 +55,14 @@ struct AdvisorReport {
 AdvisorReport AdviseFormat(const DenseMatrix& dense,
                            const AdvisorConstraints& constraints = {});
 
+class AnyMatrix;
+
+/// Engine overload: same profiling, but returns a ready-to-use AnyMatrix
+/// built in the recommended format (blocked when constraints.blocks > 1).
+/// The full report is copied to `report` when non-null. This is the
+/// backend behind the "auto?budget=..." spec string.
+AnyMatrix AdviseFormat(const DenseMatrix& dense,
+                       const AdvisorConstraints& constraints,
+                       AdvisorReport* report);
+
 }  // namespace gcm

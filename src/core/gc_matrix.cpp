@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "util/enum_names.hpp"
+#include "util/thread_pool.hpp"
+
 namespace gcm {
 
 const char* FormatName(GcFormat format) {
@@ -19,12 +22,11 @@ const char* FormatName(GcFormat format) {
 }
 
 GcFormat FormatByName(const std::string& name) {
-  if (name == "csrv") return GcFormat::kCsrv;
-  if (name == "re_32") return GcFormat::kRe32;
-  if (name == "re_iv") return GcFormat::kReIv;
-  if (name == "re_ans") return GcFormat::kReAns;
-  GCM_CHECK_MSG(false, "unknown format: " << name);
-  return GcFormat::kRe32;
+  return detail::EnumByName<GcFormat>(name, "matrix format",
+                                      {{"csrv", GcFormat::kCsrv},
+                                       {"re_32", GcFormat::kRe32},
+                                       {"re_iv", GcFormat::kReIv},
+                                       {"re_ans", GcFormat::kReAns}});
 }
 
 GcMatrix GcMatrix::FromSequence(std::vector<u32> sequence, std::size_t rows,
@@ -169,7 +171,21 @@ void GcMatrix::ForEachFinalSymbol(F&& fn) const {
 
 std::vector<double> GcMatrix::MultiplyRight(
     const std::vector<double>& x) const {
+  std::vector<double> y(rows_);
+  MultiplyRightInto(x, y);
+  return y;
+}
+
+std::vector<double> GcMatrix::MultiplyLeft(const std::vector<double>& y) const {
+  std::vector<double> x(cols_);
+  MultiplyLeftInto(y, x);
+  return x;
+}
+
+void GcMatrix::MultiplyRightInto(std::span<const double> x,
+                                 std::span<double> y) const {
   GCM_CHECK_MSG(x.size() == cols_, "MultiplyRight: wrong vector length");
+  GCM_CHECK_MSG(y.size() == rows_, "MultiplyRight: wrong output length");
   const std::vector<double>& dict = *dict_;
   const u32 cols = static_cast<u32>(cols_);
 
@@ -188,7 +204,6 @@ std::vector<double> GcMatrix::MultiplyRight(
 
   // Scan of C: accumulate per-row partial sums, closing a row at each
   // sentinel (C may interleave terminals and nonterminals; Section 4).
-  std::vector<double> y(rows_, 0.0);
   std::size_t row = 0;
   double acc = 0.0;
   ForEachFinalSymbol([&](u32 symbol) {
@@ -201,14 +216,15 @@ std::vector<double> GcMatrix::MultiplyRight(
   });
   GCM_CHECK_MSG(row == rows_, "compressed sequence closed " << row
                                   << " rows, expected " << rows_);
-  return y;
 }
 
-std::vector<double> GcMatrix::MultiplyLeft(const std::vector<double>& y) const {
+void GcMatrix::MultiplyLeftInto(std::span<const double> y,
+                                std::span<double> x) const {
   GCM_CHECK_MSG(y.size() == rows_, "MultiplyLeft: wrong vector length");
+  GCM_CHECK_MSG(x.size() == cols_, "MultiplyLeft: wrong output length");
   const std::vector<double>& dict = *dict_;
   const u32 cols = static_cast<u32>(cols_);
-  std::vector<double> x(cols_, 0.0);
+  std::fill(x.begin(), x.end(), 0.0);
 
   // Scan of C: seed W with row weights for nonterminals appearing in C;
   // terminals in C contribute directly (Section 4's generalization).
@@ -243,45 +259,65 @@ std::vector<double> GcMatrix::MultiplyLeft(const std::vector<double>& y) const {
       }
     }
   }
-  return x;
 }
 
-DenseMatrix GcMatrix::MultiplyRightMulti(const DenseMatrix& x) const {
-  GCM_CHECK_MSG(x.rows() == cols_,
-                "MultiplyRightMulti: X has " << x.rows() << " rows, expected "
-                                             << cols_);
+namespace {
+
+/// Splits [0, k) into one batch per pool worker and runs fn(t0, t1) on the
+/// pool; sequential when pool is null or the batching is degenerate.
+void ForEachColumnBatch(
+    std::size_t k, ThreadPool* pool,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  std::size_t batches =
+      pool == nullptr ? 1 : std::min(k, std::max<std::size_t>(1, pool->size()));
+  if (batches <= 1) {
+    fn(0, k);
+    return;
+  }
+  std::size_t per_batch = (k + batches - 1) / batches;
+  pool->ParallelFor(batches, [&](std::size_t b) {
+    std::size_t t0 = b * per_batch;
+    std::size_t t1 = std::min(k, t0 + per_batch);
+    if (t0 < t1) fn(t0, t1);
+  });
+}
+
+}  // namespace
+
+void GcMatrix::MultiplyRightMultiRange(const DenseMatrix& x, DenseMatrix* y,
+                                       std::size_t t0, std::size_t t1) const {
   const std::size_t k = x.cols();
+  const std::size_t kb = t1 - t0;  // batch width
   const std::vector<double>& dict = *dict_;
   const u32 cols = static_cast<u32>(cols_);
 
-  // W is rule_count x k, filled forward as in the single-vector kernel.
-  std::vector<double> w(rule_count_ * k, 0.0);
-  DenseMatrix y(rows_, k);
-  std::vector<double> acc(k, 0.0);
+  // W is rule_count x kb, filled forward as in the single-vector kernel.
+  std::vector<double> w(rule_count_ * kb, 0.0);
+  std::vector<double> acc(kb, 0.0);
   auto add_symbol = [&](u32 symbol, double* out) {
     if (symbol >= alphabet_size_) {
       const double* row = w.data() + static_cast<std::size_t>(
-                                         symbol - alphabet_size_) * k;
-      for (std::size_t t = 0; t < k; ++t) out[t] += row[t];
+                                         symbol - alphabet_size_) * kb;
+      for (std::size_t t = 0; t < kb; ++t) out[t] += row[t];
       return;
     }
     if (symbol == kCsrvSentinel) return;
     u32 packed = symbol - 1;
     double value = dict[packed / cols];
     const double* x_row = x.data().data() +
-                          static_cast<std::size_t>(packed % cols) * k;
-    for (std::size_t t = 0; t < k; ++t) out[t] += value * x_row[t];
+                          static_cast<std::size_t>(packed % cols) * k + t0;
+    for (std::size_t t = 0; t < kb; ++t) out[t] += value * x_row[t];
   };
   for (std::size_t i = 0; i < rule_count_; ++i) {
-    double* row = w.data() + i * k;
+    double* row = w.data() + i * kb;
     add_symbol(RuleLeft(i), row);
     add_symbol(RuleRight(i), row);
   }
   std::size_t row = 0;
   ForEachFinalSymbol([&](u32 symbol) {
     if (symbol == kCsrvSentinel) {
-      for (std::size_t t = 0; t < k; ++t) {
-        y.Set(row, t, acc[t]);
+      for (std::size_t t = 0; t < kb; ++t) {
+        y->Set(row, t0 + t, acc[t]);
         acc[t] = 0.0;
       }
       ++row;
@@ -291,49 +327,59 @@ DenseMatrix GcMatrix::MultiplyRightMulti(const DenseMatrix& x) const {
   });
   GCM_CHECK_MSG(row == rows_, "compressed sequence closed " << row
                                   << " rows, expected " << rows_);
+}
+
+DenseMatrix GcMatrix::MultiplyRightMulti(const DenseMatrix& x,
+                                         ThreadPool* pool) const {
+  GCM_CHECK_MSG(x.rows() == cols_,
+                "MultiplyRightMulti: X has " << x.rows() << " rows, expected "
+                                             << cols_);
+  DenseMatrix y(rows_, x.cols());
+  // Batches write disjoint column ranges of y, so they can run in parallel.
+  ForEachColumnBatch(x.cols(), pool, [&](std::size_t t0, std::size_t t1) {
+    MultiplyRightMultiRange(x, &y, t0, t1);
+  });
   return y;
 }
 
-DenseMatrix GcMatrix::MultiplyLeftMulti(const DenseMatrix& x) const {
-  GCM_CHECK_MSG(x.cols() == rows_,
-                "MultiplyLeftMulti: X has " << x.cols()
-                                            << " columns, expected " << rows_);
-  const std::size_t k = x.rows();
+void GcMatrix::MultiplyLeftMultiRange(const DenseMatrix& x, DenseMatrix* out,
+                                      std::size_t t0, std::size_t t1) const {
+  const std::size_t kb = t1 - t0;  // batch width
   const std::vector<double>& dict = *dict_;
   const u32 cols = static_cast<u32>(cols_);
-  DenseMatrix out(k, cols_);
-  std::vector<double> w(rule_count_ * k, 0.0);
+  std::vector<double> w(rule_count_ * kb, 0.0);
 
   std::size_t row = 0;
   auto scatter = [&](u32 symbol, const double* weights) {
     if (symbol >= alphabet_size_) {
       double* dest = w.data() + static_cast<std::size_t>(
-                                    symbol - alphabet_size_) * k;
-      for (std::size_t t = 0; t < k; ++t) dest[t] += weights[t];
+                                    symbol - alphabet_size_) * kb;
+      for (std::size_t t = 0; t < kb; ++t) dest[t] += weights[t];
     } else {
       u32 packed = symbol - 1;
       double value = dict[packed / cols];
       u32 column = packed % cols;
-      for (std::size_t t = 0; t < k; ++t) {
-        out.Set(t, column, out.At(t, column) + value * weights[t]);
+      for (std::size_t t = 0; t < kb; ++t) {
+        out->Set(t0 + t, column,
+                 out->At(t0 + t, column) + value * weights[t]);
       }
     }
   };
-  std::vector<double> row_weights(k);
+  std::vector<double> row_weights(kb);
   ForEachFinalSymbol([&](u32 symbol) {
     if (symbol == kCsrvSentinel) {
       ++row;
       return;
     }
-    for (std::size_t t = 0; t < k; ++t) row_weights[t] = x.At(t, row);
+    for (std::size_t t = 0; t < kb; ++t) row_weights[t] = x.At(t0 + t, row);
     scatter(symbol, row_weights.data());
   });
   GCM_CHECK_MSG(row == rows_, "compressed sequence closed " << row
                                   << " rows, expected " << rows_);
   for (std::size_t j = rule_count_; j-- > 0;) {
-    const double* weights = w.data() + j * k;
+    const double* weights = w.data() + j * kb;
     bool all_zero = true;
-    for (std::size_t t = 0; t < k; ++t) {
+    for (std::size_t t = 0; t < kb; ++t) {
       if (weights[t] != 0.0) {
         all_zero = false;
         break;
@@ -343,6 +389,19 @@ DenseMatrix GcMatrix::MultiplyLeftMulti(const DenseMatrix& x) const {
     scatter(RuleLeft(j), weights);
     scatter(RuleRight(j), weights);
   }
+}
+
+DenseMatrix GcMatrix::MultiplyLeftMulti(const DenseMatrix& x,
+                                        ThreadPool* pool) const {
+  GCM_CHECK_MSG(x.cols() == rows_,
+                "MultiplyLeftMulti: X has " << x.cols()
+                                            << " columns, expected " << rows_);
+  DenseMatrix out(x.rows(), cols_);
+  // Batches write disjoint rows of `out` (one per left-hand vector), so
+  // they can run in parallel.
+  ForEachColumnBatch(x.rows(), pool, [&](std::size_t t0, std::size_t t1) {
+    MultiplyLeftMultiRange(x, &out, t0, t1);
+  });
   return out;
 }
 

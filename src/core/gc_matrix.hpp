@@ -21,6 +21,7 @@
 #include <cstddef>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -33,9 +34,14 @@
 
 namespace gcm {
 
+class ThreadPool;
+
 enum class GcFormat { kCsrv, kRe32, kReIv, kReAns };
 
 const char* FormatName(GcFormat format);
+
+/// Inverse of FormatName; the round trip name -> enum -> name is total.
+/// Throws std::invalid_argument naming the offending string on a miss.
 GcFormat FormatByName(const std::string& name);
 
 struct GcBuildOptions {
@@ -102,14 +108,29 @@ class GcMatrix {
   /// pass over R pushing row sums down to terminals.
   std::vector<double> MultiplyLeft(const std::vector<double>& y) const;
 
+  /// Allocation-free kernels: the caller provides the output, which is
+  /// fully overwritten (x: cols() entries, y: rows() entries; input and
+  /// output must not alias). The O(|R|) W array is still allocated
+  /// internally -- it is the auxiliary space of Theorems 3.4/3.10, not
+  /// part of the result.
+  void MultiplyRightInto(std::span<const double> x,
+                         std::span<double> y) const;
+  void MultiplyLeftInto(std::span<const double> y, std::span<double> x) const;
+
   /// Y = M X for a dense right-hand side X (cols x k): the multi-vector
   /// generalization of Theorem 3.4. One pass over R and one over C with
   /// k-wide accumulators; cost O(k(|C| + |R|)), space O(k|R|).
-  DenseMatrix MultiplyRightMulti(const DenseMatrix& x) const;
+  /// When `pool` is given, the k columns are split into one batch per
+  /// worker and processed in parallel (each batch re-runs the R pass and
+  /// the C scan on its own slice, so aux space stays O(k|R|) overall).
+  DenseMatrix MultiplyRightMulti(const DenseMatrix& x,
+                                 ThreadPool* pool = nullptr) const;
 
   /// Y = X M for a dense left-hand side X (k x rows): multi-vector
-  /// generalization of Theorem 3.10.
-  DenseMatrix MultiplyLeftMulti(const DenseMatrix& x) const;
+  /// generalization of Theorem 3.10. Same column-batch parallelism as
+  /// MultiplyRightMulti when `pool` is given.
+  DenseMatrix MultiplyLeftMulti(const DenseMatrix& x,
+                                ThreadPool* pool = nullptr) const;
 
   /// Reconstructs the CSRV sequence S (for verification / decompression).
   std::vector<u32> DecompressSequence() const;
@@ -132,6 +153,13 @@ class GcMatrix {
   /// Iterates the final sequence C in order, invoking fn(symbol).
   template <typename F>
   void ForEachFinalSymbol(F&& fn) const;
+
+  /// Multi-vector kernels restricted to the column batch [t0, t1) of X;
+  /// the unit of work of the pool-parallel Multi drivers.
+  void MultiplyRightMultiRange(const DenseMatrix& x, DenseMatrix* y,
+                               std::size_t t0, std::size_t t1) const;
+  void MultiplyLeftMultiRange(const DenseMatrix& x, DenseMatrix* out,
+                              std::size_t t0, std::size_t t1) const;
 
   u32 RuleLeft(std::size_t i) const;
   u32 RuleRight(std::size_t i) const;

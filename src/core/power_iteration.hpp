@@ -4,13 +4,17 @@
 //
 // i.e. alternating right and left multiplications with an infinity-norm
 // rescale, mimicking the inner loop of conjugate-gradient style solvers.
-// The driver is generic over any matrix type exposing rows()/cols() and
-// MultiplyRight/MultiplyLeft (optionally with a ThreadPool argument).
+// The driver is generic over every backend through the AnyMatrix engine
+// API: the three iteration vectors are allocated once and the loop runs
+// exclusively on the allocation-free *Into kernels, so the measured peak
+// is the compressed matrix plus auxiliary arrays -- not allocator churn.
 #pragma once
 
 #include <cstddef>
+#include <utility>
 #include <vector>
 
+#include "core/any_matrix.hpp"
 #include "matrix/dense_matrix.hpp"
 #include "util/memory_tracker.hpp"
 #include "util/thread_pool.hpp"
@@ -26,56 +30,24 @@ struct PowerIterationResult {
   u64 peak_heap_bytes = 0;      ///< high-water heap mark over the run
 };
 
-namespace detail {
-
-// Dispatch: prefer the pool-taking overload when the matrix has one.
-template <typename M>
-concept PooledMatrix = requires(const M& m, const std::vector<double>& v,
-                                ThreadPool* pool) {
-  m.MultiplyRight(v, pool);
-};
-
-template <typename M>
-std::vector<double> Right(const M& m, const std::vector<double>& v,
-                          ThreadPool* pool) {
-  if constexpr (PooledMatrix<M>) {
-    return m.MultiplyRight(v, pool);
-  } else {
-    (void)pool;
-    return m.MultiplyRight(v);
-  }
-}
-
-template <typename M>
-std::vector<double> Left(const M& m, const std::vector<double>& v,
-                         ThreadPool* pool) {
-  if constexpr (PooledMatrix<M>) {
-    return m.MultiplyLeft(v, pool);
-  } else {
-    (void)pool;
-    return m.MultiplyLeft(v);
-  }
-}
-
-}  // namespace detail
-
-template <typename M>
-PowerIterationResult RunPowerIteration(const M& matrix, std::size_t iterations,
-                                       ThreadPool* pool = nullptr) {
+inline PowerIterationResult RunPowerIteration(const AnyMatrix& matrix,
+                                              std::size_t iterations,
+                                              const MulContext& ctx = {}) {
   PowerIterationResult result;
   std::vector<double> x(matrix.cols(), 1.0);
+  std::vector<double> y(matrix.rows(), 0.0);
+  std::vector<double> z(matrix.cols(), 0.0);
   MemoryTracker::ResetPeak();
   Timer timer;
   for (std::size_t i = 0; i < iterations; ++i) {
-    std::vector<double> y = detail::Right(matrix, x, pool);
-    std::vector<double> z = detail::Left(matrix, y, pool);
+    matrix.MultiplyRightInto(x, y, ctx);
+    matrix.MultiplyLeftInto(y, z, ctx);
     double norm = InfinityNorm(z);
-    if (norm == 0.0) {
-      x = std::move(z);  // matrix annihilated the vector; keep the zeros
-    } else {
+    if (norm != 0.0) {
       for (double& v : z) v /= norm;
-      x = std::move(z);
     }
+    // If the matrix annihilated the vector (norm == 0), keep the zeros.
+    std::swap(x, z);
     ++result.iterations;
   }
   result.seconds_total = timer.Seconds();
@@ -84,6 +56,13 @@ PowerIterationResult RunPowerIteration(const M& matrix, std::size_t iterations,
   result.peak_heap_bytes = MemoryTracker::PeakBytes();
   result.x = std::move(x);
   return result;
+}
+
+/// Pool convenience: RunPowerIteration(m, n, &pool).
+inline PowerIterationResult RunPowerIteration(const AnyMatrix& matrix,
+                                              std::size_t iterations,
+                                              ThreadPool* pool) {
+  return RunPowerIteration(matrix, iterations, MulContext{pool});
 }
 
 }  // namespace gcm

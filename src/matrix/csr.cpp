@@ -58,8 +58,22 @@ CsrMatrix CsrMatrix::FromParts(std::size_t rows, std::size_t cols,
 
 std::vector<double> CsrMatrix::MultiplyRight(
     const std::vector<double>& x) const {
+  std::vector<double> y(rows_);
+  MultiplyRightInto(x, y);
+  return y;
+}
+
+std::vector<double> CsrMatrix::MultiplyLeft(
+    const std::vector<double>& y) const {
+  std::vector<double> x(cols_);
+  MultiplyLeftInto(y, x);
+  return x;
+}
+
+void CsrMatrix::MultiplyRightInto(std::span<const double> x,
+                                  std::span<double> y) const {
   GCM_CHECK(x.size() == cols_);
-  std::vector<double> y(rows_, 0.0);
+  GCM_CHECK(y.size() == rows_);
   for (std::size_t r = 0; r < rows_; ++r) {
     double acc = 0.0;
     for (u32 k = first_[r]; k < first_[r + 1]; ++k) {
@@ -67,13 +81,13 @@ std::vector<double> CsrMatrix::MultiplyRight(
     }
     y[r] = acc;
   }
-  return y;
 }
 
-std::vector<double> CsrMatrix::MultiplyLeft(
-    const std::vector<double>& y) const {
+void CsrMatrix::MultiplyLeftInto(std::span<const double> y,
+                                 std::span<double> x) const {
   GCM_CHECK(y.size() == rows_);
-  std::vector<double> x(cols_, 0.0);
+  GCM_CHECK(x.size() == cols_);
+  std::fill(x.begin(), x.end(), 0.0);
   for (std::size_t r = 0; r < rows_; ++r) {
     double scale = y[r];
     if (scale == 0.0) continue;
@@ -81,7 +95,6 @@ std::vector<double> CsrMatrix::MultiplyLeft(
       x[idx_[k]] += scale * nz_[k];
     }
   }
-  return x;
 }
 
 DenseMatrix CsrMatrix::ToDense() const {
@@ -118,8 +131,22 @@ CsrIvMatrix CsrIvMatrix::FromDense(const DenseMatrix& dense) {
 
 std::vector<double> CsrIvMatrix::MultiplyRight(
     const std::vector<double>& x) const {
+  std::vector<double> y(rows_);
+  MultiplyRightInto(x, y);
+  return y;
+}
+
+std::vector<double> CsrIvMatrix::MultiplyLeft(
+    const std::vector<double>& y) const {
+  std::vector<double> x(cols_);
+  MultiplyLeftInto(y, x);
+  return x;
+}
+
+void CsrIvMatrix::MultiplyRightInto(std::span<const double> x,
+                                    std::span<double> y) const {
   GCM_CHECK(x.size() == cols_);
-  std::vector<double> y(rows_, 0.0);
+  GCM_CHECK(y.size() == rows_);
   for (std::size_t r = 0; r < rows_; ++r) {
     double acc = 0.0;
     for (u32 k = first_[r]; k < first_[r + 1]; ++k) {
@@ -127,13 +154,13 @@ std::vector<double> CsrIvMatrix::MultiplyRight(
     }
     y[r] = acc;
   }
-  return y;
 }
 
-std::vector<double> CsrIvMatrix::MultiplyLeft(
-    const std::vector<double>& y) const {
+void CsrIvMatrix::MultiplyLeftInto(std::span<const double> y,
+                                   std::span<double> x) const {
   GCM_CHECK(y.size() == rows_);
-  std::vector<double> x(cols_, 0.0);
+  GCM_CHECK(x.size() == cols_);
+  std::fill(x.begin(), x.end(), 0.0);
   for (std::size_t r = 0; r < rows_; ++r) {
     double scale = y[r];
     if (scale == 0.0) continue;
@@ -141,7 +168,6 @@ std::vector<double> CsrIvMatrix::MultiplyLeft(
       x[idx_[k]] += scale * dictionary_[value_ids_[k]];
     }
   }
-  return x;
 }
 
 DenseMatrix CsrIvMatrix::ToDense() const {

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "matrix/dense_matrix.hpp"
@@ -29,6 +30,12 @@ class CsrMatrix {
 
   std::vector<double> MultiplyRight(const std::vector<double>& x) const;
   std::vector<double> MultiplyLeft(const std::vector<double>& y) const;
+
+  /// Allocation-free kernels; the caller-provided output is fully
+  /// overwritten (see DenseMatrix for the contract).
+  void MultiplyRightInto(std::span<const double> x,
+                         std::span<double> y) const;
+  void MultiplyLeftInto(std::span<const double> y, std::span<double> x) const;
 
   DenseMatrix ToDense() const;
 
@@ -63,6 +70,12 @@ class CsrIvMatrix {
 
   std::vector<double> MultiplyRight(const std::vector<double>& x) const;
   std::vector<double> MultiplyLeft(const std::vector<double>& y) const;
+
+  /// Allocation-free kernels; the caller-provided output is fully
+  /// overwritten (see DenseMatrix for the contract).
+  void MultiplyRightInto(std::span<const double> x,
+                         std::span<double> y) const;
+  void MultiplyLeftInto(std::span<const double> y, std::span<double> x) const;
 
   DenseMatrix ToDense() const;
 

@@ -90,8 +90,22 @@ void CsrvMatrix::Validate() const {
 
 std::vector<double> CsrvMatrix::MultiplyRight(
     const std::vector<double>& x) const {
+  std::vector<double> y(rows_);
+  MultiplyRightInto(x, y);
+  return y;
+}
+
+std::vector<double> CsrvMatrix::MultiplyLeft(
+    const std::vector<double>& y) const {
+  std::vector<double> x(cols_);
+  MultiplyLeftInto(y, x);
+  return x;
+}
+
+void CsrvMatrix::MultiplyRightInto(std::span<const double> x,
+                                   std::span<double> y) const {
   GCM_CHECK_MSG(x.size() == cols_, "MultiplyRight: wrong vector length");
-  std::vector<double> y(rows_, 0.0);
+  GCM_CHECK_MSG(y.size() == rows_, "MultiplyRight: wrong output length");
   std::size_t row = 0;
   double acc = 0.0;
   for (u32 symbol : sequence_) {
@@ -105,13 +119,13 @@ std::vector<double> CsrvMatrix::MultiplyRight(
     u32 column = packed % static_cast<u32>(cols_);
     acc += dictionary_[value_id] * x[column];
   }
-  return y;
 }
 
-std::vector<double> CsrvMatrix::MultiplyLeft(
-    const std::vector<double>& y) const {
+void CsrvMatrix::MultiplyLeftInto(std::span<const double> y,
+                                  std::span<double> x) const {
   GCM_CHECK_MSG(y.size() == rows_, "MultiplyLeft: wrong vector length");
-  std::vector<double> x(cols_, 0.0);
+  GCM_CHECK_MSG(x.size() == cols_, "MultiplyLeft: wrong output length");
+  std::fill(x.begin(), x.end(), 0.0);
   std::size_t row = 0;
   for (u32 symbol : sequence_) {
     if (symbol == kCsrvSentinel) {
@@ -123,7 +137,6 @@ std::vector<double> CsrvMatrix::MultiplyLeft(
     u32 column = packed % static_cast<u32>(cols_);
     x[column] += y[row] * dictionary_[value_id];
   }
-  return x;
 }
 
 DenseMatrix CsrvMatrix::ToDense() const {

@@ -19,6 +19,7 @@
 
 #include <cstddef>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "matrix/dense_matrix.hpp"
@@ -90,6 +91,12 @@ class CsrvMatrix {
 
   /// x^t = y^t M by a single scan of S (Section 2).
   std::vector<double> MultiplyLeft(const std::vector<double>& y) const;
+
+  /// Allocation-free kernels; the caller-provided output is fully
+  /// overwritten (see DenseMatrix for the contract).
+  void MultiplyRightInto(std::span<const double> x,
+                         std::span<double> y) const;
+  void MultiplyLeftInto(std::span<const double> y, std::span<double> x) const;
 
   DenseMatrix ToDense() const;
 

@@ -21,30 +21,45 @@ std::size_t DenseMatrix::CountNonZeros() const {
 
 std::vector<double> DenseMatrix::MultiplyRight(
     const std::vector<double>& x) const {
+  std::vector<double> y(rows_);
+  MultiplyRightInto(x, y);
+  return y;
+}
+
+std::vector<double> DenseMatrix::MultiplyLeft(
+    const std::vector<double>& y) const {
+  std::vector<double> x(cols_);
+  MultiplyLeftInto(y, x);
+  return x;
+}
+
+void DenseMatrix::MultiplyRightInto(std::span<const double> x,
+                                    std::span<double> y) const {
   GCM_CHECK_MSG(x.size() == cols_, "MultiplyRight: vector length "
                                        << x.size() << " != cols " << cols_);
-  std::vector<double> y(rows_, 0.0);
+  GCM_CHECK_MSG(y.size() == rows_, "MultiplyRight: output length "
+                                       << y.size() << " != rows " << rows_);
   for (std::size_t r = 0; r < rows_; ++r) {
     const double* row = data_.data() + r * cols_;
     double acc = 0.0;
     for (std::size_t c = 0; c < cols_; ++c) acc += row[c] * x[c];
     y[r] = acc;
   }
-  return y;
 }
 
-std::vector<double> DenseMatrix::MultiplyLeft(
-    const std::vector<double>& y) const {
+void DenseMatrix::MultiplyLeftInto(std::span<const double> y,
+                                   std::span<double> x) const {
   GCM_CHECK_MSG(y.size() == rows_, "MultiplyLeft: vector length "
                                        << y.size() << " != rows " << rows_);
-  std::vector<double> x(cols_, 0.0);
+  GCM_CHECK_MSG(x.size() == cols_, "MultiplyLeft: output length "
+                                       << x.size() << " != cols " << cols_);
+  std::fill(x.begin(), x.end(), 0.0);
   for (std::size_t r = 0; r < rows_; ++r) {
     const double* row = data_.data() + r * cols_;
     double scale = y[r];
     if (scale == 0.0) continue;
     for (std::size_t c = 0; c < cols_; ++c) x[c] += scale * row[c];
   }
-  return x;
 }
 
 DenseMatrix DenseMatrix::Transposed() const {

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "util/common.hpp"
@@ -54,6 +55,13 @@ class DenseMatrix {
 
   /// x^t = y^t M  (y has rows() entries, result has cols() entries).
   std::vector<double> MultiplyLeft(const std::vector<double>& y) const;
+
+  /// Allocation-free kernels: the caller provides the output span, which is
+  /// fully overwritten (x: cols() entries, y: rows() entries; x and y must
+  /// not alias).
+  void MultiplyRightInto(std::span<const double> x,
+                         std::span<double> y) const;
+  void MultiplyLeftInto(std::span<const double> y, std::span<double> x) const;
 
   DenseMatrix Transposed() const;
 

@@ -1,0 +1,34 @@
+// Shared name <-> enum lookup for every user-facing format / encoding
+// parser (GcFormat, ClaEncoding, the AnyMatrix spec grammar).
+//
+// The contract it enforces: the round trip name -> enum -> name is total.
+// A lookup miss throws std::invalid_argument naming the offending string
+// and listing every valid name, so callers (CLI flags, spec strings) get a
+// self-explanatory error instead of a stack-trace-shaped assertion.
+#pragma once
+
+#include <initializer_list>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace gcm::detail {
+
+/// Linear table lookup; throws std::invalid_argument on a miss.
+template <typename Enum>
+Enum EnumByName(const std::string& name, const char* kind,
+                std::initializer_list<std::pair<std::string_view, Enum>>
+                    table) {
+  for (const auto& [entry_name, value] : table) {
+    if (name == entry_name) return value;
+  }
+  std::ostringstream os;
+  os << "unknown " << kind << ": \"" << name << "\" (valid:";
+  for (const auto& [entry_name, value] : table) os << ' ' << entry_name;
+  os << ')';
+  throw std::invalid_argument(os.str());
+}
+
+}  // namespace gcm::detail

@@ -1,0 +1,355 @@
+// Conformance suite for the AnyMatrix engine API: every registered spec
+// (plus parameterized variants) must build, report sane metadata, agree
+// with the dense oracle on both multiplications (pool and no-pool), and
+// enforce the *Into size / aliasing preconditions. Also covers the spec
+// parser, the name round-trips shared with the CLI flags, the AdviseFormat
+// engine overload, and the pool-parallel multi-vector kernels.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "baselines/cla/cla_matrix.hpp"
+#include "core/any_matrix.hpp"
+#include "core/blocked_matrix.hpp"
+#include "core/format_advisor.hpp"
+#include "core/gc_matrix.hpp"
+#include "core/power_iteration.hpp"
+#include "matrix/csr.hpp"
+#include "matrix/csrv.hpp"
+#include "matrix/sparse_builder.hpp"
+#include "util/rng.hpp"
+
+namespace gcm {
+namespace {
+
+std::vector<double> RandomVector(std::size_t n, Rng* rng) {
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng->NextDouble() * 2.0 - 1.0;
+  return v;
+}
+
+DenseMatrix TestMatrix() {
+  Rng rng(4242);
+  return DenseMatrix::Random(48, 13, 0.5, 6, &rng);
+}
+
+/// Every registered spec plus variants exercising the parameter grammar.
+std::vector<std::string> ConformanceSpecs() {
+  std::vector<std::string> specs = AnyMatrix::ListSpecs();
+  specs.push_back("gcm:re_32?blocks=4");
+  specs.push_back("gcm:re_ans?blocks=3&fold_bits=10");
+  specs.push_back("gcm:re_iv?max_rules=8");
+  specs.push_back("cla?co_code=0");
+  specs.push_back("auto?budget=64MiB&blocks=2");
+  return specs;
+}
+
+std::string SpecTestName(const ::testing::TestParamInfo<std::string>& info) {
+  std::string name = info.param;
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return name;
+}
+
+class EngineConformanceTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(EngineConformanceTest, BuildsWithSaneMetadata) {
+  DenseMatrix dense = TestMatrix();
+  AnyMatrix m = AnyMatrix::Build(dense, GetParam());
+  EXPECT_EQ(m.rows(), dense.rows());
+  EXPECT_EQ(m.cols(), dense.cols());
+  EXPECT_GT(m.CompressedBytes(), 0u);
+  EXPECT_FALSE(m.FormatTag().empty());
+  EXPECT_EQ(DenseMatrix::MaxAbsDiff(m.ToDense(), dense), 0.0);
+}
+
+TEST_P(EngineConformanceTest, MultiplicationsMatchDenseOracle) {
+  DenseMatrix dense = TestMatrix();
+  AnyMatrix m = AnyMatrix::Build(dense, GetParam());
+  Rng rng(77);
+  for (int trial = 0; trial < 3; ++trial) {
+    std::vector<double> x = RandomVector(dense.cols(), &rng);
+    std::vector<double> y = RandomVector(dense.rows(), &rng);
+    EXPECT_LT(MaxAbsDiff(m.MultiplyRight(x), dense.MultiplyRight(x)), 1e-9);
+    EXPECT_LT(MaxAbsDiff(m.MultiplyLeft(y), dense.MultiplyLeft(y)), 1e-9);
+  }
+}
+
+TEST_P(EngineConformanceTest, IntoKernelsOverwriteDirtyBuffers) {
+  DenseMatrix dense = TestMatrix();
+  AnyMatrix m = AnyMatrix::Build(dense, GetParam());
+  Rng rng(78);
+  std::vector<double> x = RandomVector(dense.cols(), &rng);
+  std::vector<double> y(dense.rows(), 123.456);  // stale garbage
+  m.MultiplyRightInto(x, y);
+  EXPECT_LT(MaxAbsDiff(y, dense.MultiplyRight(x)), 1e-9);
+
+  std::vector<double> w = RandomVector(dense.rows(), &rng);
+  std::vector<double> back(dense.cols(), -987.6);
+  m.MultiplyLeftInto(w, back);
+  EXPECT_LT(MaxAbsDiff(back, dense.MultiplyLeft(w)), 1e-9);
+}
+
+TEST_P(EngineConformanceTest, IntoKernelsRejectWrongSizes) {
+  DenseMatrix dense = TestMatrix();
+  AnyMatrix m = AnyMatrix::Build(dense, GetParam());
+  std::vector<double> good_x(dense.cols(), 1.0);
+  std::vector<double> good_y(dense.rows(), 0.0);
+  std::vector<double> bad(dense.cols() + dense.rows() + 1, 0.0);
+  EXPECT_THROW(m.MultiplyRightInto(bad, good_y), Error);
+  EXPECT_THROW(m.MultiplyRightInto(good_x, bad), Error);
+  EXPECT_THROW(m.MultiplyLeftInto(bad, good_x), Error);
+  EXPECT_THROW(m.MultiplyLeftInto(good_y, bad), Error);
+}
+
+TEST_P(EngineConformanceTest, IntoKernelsRejectAliasedSpans) {
+  DenseMatrix dense = TestMatrix();
+  AnyMatrix m = AnyMatrix::Build(dense, GetParam());
+  // One buffer, input and output spans overlapping in one element.
+  std::vector<double> buffer(dense.cols() + dense.rows() - 1, 1.0);
+  std::span<const double> x(buffer.data(), dense.cols());
+  std::span<double> y(buffer.data() + dense.cols() - 1, dense.rows());
+  EXPECT_THROW(m.MultiplyRightInto(x, y), Error);
+}
+
+TEST_P(EngineConformanceTest, PoolAndNoPoolAgree) {
+  DenseMatrix dense = TestMatrix();
+  AnyMatrix m = AnyMatrix::Build(dense, GetParam());
+  ThreadPool pool(3);
+  Rng rng(79);
+  std::vector<double> x = RandomVector(dense.cols(), &rng);
+  std::vector<double> y = RandomVector(dense.rows(), &rng);
+  EXPECT_LT(MaxAbsDiff(m.MultiplyRight(x), m.MultiplyRight(x, {&pool})),
+            1e-9);
+  EXPECT_LT(MaxAbsDiff(m.MultiplyLeft(y), m.MultiplyLeft(y, {&pool})),
+            1e-9);
+}
+
+TEST_P(EngineConformanceTest, PowerIterationMatchesDense) {
+  DenseMatrix dense = TestMatrix();
+  AnyMatrix m = AnyMatrix::Build(dense, GetParam());
+  PowerIterationResult reference =
+      RunPowerIteration(AnyMatrix::Ref(dense), 10);
+  PowerIterationResult result = RunPowerIteration(m, 10);
+  EXPECT_LT(MaxAbsDiff(reference.x, result.x), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSpecs, EngineConformanceTest,
+                         ::testing::ValuesIn(ConformanceSpecs()),
+                         SpecTestName);
+
+// --------------------------------------------------------------------------
+// Spec parser
+// --------------------------------------------------------------------------
+
+TEST(MatrixSpecTest, ParsesFamilyVariantAndParams) {
+  MatrixSpec spec = MatrixSpec::Parse("gcm:re_ans?blocks=8&fold_bits=10");
+  EXPECT_EQ(spec.family, "gcm");
+  EXPECT_EQ(spec.variant, "re_ans");
+  EXPECT_EQ(spec.GetSize("blocks", 1), 8u);
+  EXPECT_EQ(spec.GetSize("fold_bits", 12), 10u);
+  EXPECT_EQ(spec.GetSize("max_rules", 0), 0u);  // fallback
+  EXPECT_EQ(spec.ToString(), "gcm:re_ans?blocks=8&fold_bits=10");
+}
+
+TEST(MatrixSpecTest, ParsesByteSizes) {
+  MatrixSpec spec = MatrixSpec::Parse("auto?budget=64MiB");
+  EXPECT_EQ(spec.GetBytes("budget", 0), 64ULL * 1024 * 1024);
+  EXPECT_EQ(MatrixSpec::Parse("auto?budget=2KB").GetBytes("budget", 0),
+            2000u);
+  EXPECT_EQ(MatrixSpec::Parse("auto?budget=123").GetBytes("budget", 0),
+            123u);
+  EXPECT_THROW(
+      MatrixSpec::Parse("auto?budget=lots").GetBytes("budget", 0),
+      std::invalid_argument);
+}
+
+TEST(MatrixSpecTest, RejectsMalformedSpecs) {
+  EXPECT_THROW(MatrixSpec::Parse(""), std::invalid_argument);
+  EXPECT_THROW(MatrixSpec::Parse("gcm:"), std::invalid_argument);
+  EXPECT_THROW(MatrixSpec::Parse("gcm?blocks"), std::invalid_argument);
+  EXPECT_THROW(MatrixSpec::Parse("gcm?=8"), std::invalid_argument);
+  EXPECT_THROW(MatrixSpec::Parse("gcm?blocks=8&blocks=9"),
+               std::invalid_argument);
+}
+
+TEST(MatrixSpecTest, UnknownFamilyErrorListsRegisteredSpecs) {
+  DenseMatrix dense = TestMatrix();
+  try {
+    AnyMatrix::Build(dense, "wavelet");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    std::string message = e.what();
+    EXPECT_NE(message.find("wavelet"), std::string::npos);
+    for (const std::string& spec : AnyMatrix::ListSpecs()) {
+      EXPECT_NE(message.find(spec), std::string::npos)
+          << "error message must list " << spec;
+    }
+  }
+}
+
+TEST(MatrixSpecTest, UnknownVariantAndKeyAreRejected) {
+  DenseMatrix dense = TestMatrix();
+  EXPECT_THROW(AnyMatrix::Build(dense, "gcm:bogus"), std::invalid_argument);
+  EXPECT_THROW(AnyMatrix::Build(dense, "gcm:re_32?bogus_key=1"),
+               std::invalid_argument);
+  EXPECT_THROW(AnyMatrix::Build(dense, "dense?blocks=2"),
+               std::invalid_argument);
+  EXPECT_THROW(AnyMatrix::Build(dense, "csrv:re_32"), std::invalid_argument);
+  EXPECT_THROW(AnyMatrix::Build(dense, "gcm?blocks=two"),
+               std::invalid_argument);
+  // std::stoull would silently wrap negative values; the parser must not.
+  EXPECT_THROW(AnyMatrix::Build(dense, "gcm?blocks=-1"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      MatrixSpec::Parse("auto?budget=-1MiB").GetBytes("budget", 0),
+      std::invalid_argument);
+}
+
+TEST(MatrixSpecTest, ListSpecsCoversAllSevenBackends) {
+  std::vector<std::string> specs = AnyMatrix::ListSpecs();
+  for (const char* expected :
+       {"dense", "csr", "csr_iv", "csrv", "gcm:csrv", "gcm:re_32",
+        "gcm:re_iv", "gcm:re_ans", "cla", "auto"}) {
+    EXPECT_NE(std::find(specs.begin(), specs.end(), expected), specs.end())
+        << expected;
+  }
+}
+
+// --------------------------------------------------------------------------
+// Name round-trips (shared helper behind CLI flags and spec variants)
+// --------------------------------------------------------------------------
+
+TEST(NameRoundTripTest, GcFormatNamesAreTotal) {
+  for (GcFormat format : {GcFormat::kCsrv, GcFormat::kRe32, GcFormat::kReIv,
+                          GcFormat::kReAns}) {
+    EXPECT_EQ(FormatByName(FormatName(format)), format);
+  }
+  try {
+    FormatByName("zstd");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    std::string message = e.what();
+    EXPECT_NE(message.find("zstd"), std::string::npos);
+    EXPECT_NE(message.find("re_ans"), std::string::npos);
+  }
+}
+
+TEST(NameRoundTripTest, ClaEncodingNamesAreTotal) {
+  for (ClaEncoding encoding : {ClaEncoding::kUc, ClaEncoding::kDdc,
+                               ClaEncoding::kRle, ClaEncoding::kOle}) {
+    EXPECT_EQ(ClaEncodingByName(ClaEncodingName(encoding)), encoding);
+  }
+  try {
+    ClaEncodingByName("LZW");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    std::string message = e.what();
+    EXPECT_NE(message.find("LZW"), std::string::npos);
+    EXPECT_NE(message.find("OLE"), std::string::npos);
+  }
+}
+
+// --------------------------------------------------------------------------
+// Wrap / Ref / triplet ingestion / advisor overload
+// --------------------------------------------------------------------------
+
+TEST(AnyMatrixTest, WrapAndRefAgree) {
+  DenseMatrix dense = TestMatrix();
+  GcMatrix gc = GcMatrix::FromDense(dense, {GcFormat::kReIv, 12, 0});
+  AnyMatrix owned = AnyMatrix::Wrap(GcMatrix(gc));
+  AnyMatrix ref = AnyMatrix::Ref(gc);
+  EXPECT_EQ(owned.FormatTag(), "gcm:re_iv");
+  EXPECT_EQ(ref.FormatTag(), "gcm:re_iv");
+  EXPECT_EQ(owned.CompressedBytes(), ref.CompressedBytes());
+  std::vector<double> x(dense.cols(), 0.5);
+  EXPECT_EQ(owned.MultiplyRight(x), ref.MultiplyRight(x));
+}
+
+TEST(AnyMatrixTest, EmptyAnyMatrixThrows) {
+  AnyMatrix empty;
+  EXPECT_FALSE(empty.valid());
+  EXPECT_THROW(empty.rows(), Error);
+}
+
+TEST(AnyMatrixTest, TripletBuildMatchesDenseBuild) {
+  DenseMatrix dense = TestMatrix();
+  std::vector<Triplet> triplets = TripletsFromDense(dense);
+  for (const std::string& spec :
+       {std::string("csr"), std::string("csrv"), std::string("gcm:re_ans"),
+        std::string("gcm:re_iv?blocks=4"), std::string("cla")}) {
+    AnyMatrix m =
+        AnyMatrix::Build(dense.rows(), dense.cols(), triplets, spec);
+    EXPECT_EQ(m.rows(), dense.rows()) << spec;
+    EXPECT_EQ(DenseMatrix::MaxAbsDiff(m.ToDense(), dense), 0.0) << spec;
+  }
+}
+
+TEST(AnyMatrixTest, AdviseFormatOverloadReturnsBuiltEngineMatrix) {
+  DenseMatrix dense = TestMatrix();
+  AdvisorConstraints constraints;
+  constraints.blocks = 2;
+  AdvisorReport report;
+  AnyMatrix m = AdviseFormat(dense, constraints, &report);
+  EXPECT_EQ(report.estimates.size(), 4u);
+  EXPECT_EQ(m.rows(), dense.rows());
+  std::string tag = m.FormatTag();
+  EXPECT_NE(tag.find("gcm:"), std::string::npos);
+  EXPECT_NE(tag.find("blocks=2"), std::string::npos);
+  std::vector<double> x(dense.cols(), 1.0);
+  EXPECT_LT(MaxAbsDiff(m.MultiplyRight(x), dense.MultiplyRight(x)), 1e-9);
+}
+
+// --------------------------------------------------------------------------
+// Pool-parallel multi-vector kernels
+// --------------------------------------------------------------------------
+
+class MultiPoolTest : public ::testing::TestWithParam<GcFormat> {};
+
+TEST_P(MultiPoolTest, RightMultiMatchesSequential) {
+  Rng rng(91);
+  DenseMatrix m = DenseMatrix::Random(40, 17, 0.5, 5, &rng);
+  GcMatrix gc = GcMatrix::FromDense(m, {GetParam(), 12, 0});
+  DenseMatrix x(17, 9);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      x.Set(r, c, rng.NextDouble() * 2.0 - 1.0);
+    }
+  }
+  ThreadPool pool(4);
+  DenseMatrix sequential = gc.MultiplyRightMulti(x);
+  DenseMatrix pooled = gc.MultiplyRightMulti(x, &pool);
+  EXPECT_EQ(sequential, pooled);  // batches are bitwise independent
+}
+
+TEST_P(MultiPoolTest, LeftMultiMatchesSequential) {
+  Rng rng(92);
+  DenseMatrix m = DenseMatrix::Random(40, 17, 0.5, 5, &rng);
+  GcMatrix gc = GcMatrix::FromDense(m, {GetParam(), 12, 0});
+  DenseMatrix x(7, 40);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      x.Set(r, c, rng.NextDouble() * 2.0 - 1.0);
+    }
+  }
+  ThreadPool pool(3);
+  DenseMatrix sequential = gc.MultiplyLeftMulti(x);
+  DenseMatrix pooled = gc.MultiplyLeftMulti(x, &pool);
+  EXPECT_EQ(sequential, pooled);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFormats, MultiPoolTest,
+                         ::testing::Values(GcFormat::kCsrv, GcFormat::kRe32,
+                                           GcFormat::kReIv,
+                                           GcFormat::kReAns),
+                         [](const auto& info) {
+                           return std::string(FormatName(info.param));
+                         });
+
+}  // namespace
+}  // namespace gcm

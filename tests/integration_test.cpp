@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "baselines/cla/cla_matrix.hpp"
+#include "core/any_matrix.hpp"
 #include "core/blocked_matrix.hpp"
 #include "core/power_iteration.hpp"
 #include "matrix/datasets.hpp"
@@ -46,8 +47,9 @@ TEST_P(PipelineTest, ReorderBlockCompressIterate) {
       dense, 4, {GetParam().format, 12, 0}, orders);
 
   ThreadPool pool(3);
-  PowerIterationResult compressed = RunPowerIteration(blocked, 8, &pool);
-  PowerIterationResult reference = RunPowerIteration(dense, 8);
+  PowerIterationResult compressed =
+      RunPowerIteration(AnyMatrix::Ref(blocked), 8, &pool);
+  PowerIterationResult reference = RunPowerIteration(AnyMatrix::Ref(dense), 8);
   EXPECT_LT(MaxAbsDiff(compressed.x, reference.x), 1e-6)
       << profile.name << "/" << FormatName(GetParam().format);
 }
