@@ -6,10 +6,13 @@
 // --scale 1 reproduces the full row counts given enough time and memory.
 #pragma once
 
+#include <cctype>
 #include <cstdio>
+#include <filesystem>
 #include <string>
 #include <vector>
 
+#include "core/any_matrix.hpp"
 #include "matrix/datasets.hpp"
 #include "matrix/dense_matrix.hpp"
 #include "util/cli.hpp"
@@ -23,6 +26,12 @@ inline void AddCommonFlags(CliParser* cli) {
                "row-count divisor applied to the paper's datasets");
   cli->AddFlag("datasets", "all",
                "comma-separated dataset names (default: all seven)");
+  cli->AddFlag("snapshot_cache", "",
+               "directory caching compressed operands as snapshots keyed by "
+               "(dataset, scale, spec); empty = rebuild every run");
+  cli->AddFlag("csv", "",
+               "append tidy result rows (bench,dataset,config,metric,value) "
+               "to this CSV file");
 }
 
 /// Resolves --datasets into profile pointers.
@@ -60,6 +69,89 @@ inline double Pct(u64 bytes, u64 dense_bytes) {
   return 100.0 * static_cast<double>(bytes) /
          static_cast<double>(dense_bytes);
 }
+
+/// Builds an engine matrix for a bench, serving it from the snapshot cache
+/// when `--snapshot_cache DIR` is set: the first run compresses and saves,
+/// later runs load the stored representation as-is (RePair never re-runs).
+/// Cache keys are (dataset, scale, spec); stale entries whose dimensions no
+/// longer match the generated operand are rebuilt and overwritten.
+inline AnyMatrix BuildCached(const DenseMatrix& dense,
+                             const std::string& spec,
+                             const DatasetProfile& profile,
+                             const CliParser& cli) {
+  std::string dir = cli.GetString("snapshot_cache");
+  if (dir.empty()) return AnyMatrix::Build(dense, spec);
+
+  std::string key = profile.name + "_s" + cli.GetString("scale") + "_" + spec;
+  for (char& c : key) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' &&
+        c != '-') {
+      c = '-';
+    }
+  }
+  std::filesystem::create_directories(dir);
+  std::filesystem::path path =
+      std::filesystem::path(dir) / (key + ".gcsnap");
+  if (std::filesystem::exists(path)) {
+    try {
+      AnyMatrix cached = AnyMatrix::Load(path.string());
+      if (cached.rows() == dense.rows() && cached.cols() == dense.cols()) {
+        return cached;
+      }
+      std::fprintf(stderr, "note: cache entry %s is stale, rebuilding\n",
+                   path.string().c_str());
+    } catch (const std::exception& e) {
+      // An interrupted earlier run may have left a corrupt entry; the
+      // cache is disposable, so rebuild rather than fail the bench.
+      std::fprintf(stderr, "note: cache entry %s is unreadable (%s), "
+                           "rebuilding\n",
+                   path.string().c_str(), e.what());
+    }
+  }
+  AnyMatrix built = AnyMatrix::Build(dense, spec);
+  // Write-then-rename so an interrupted save never leaves a truncated
+  // entry under the final name.
+  std::filesystem::path staging = path;
+  staging += ".tmp";
+  built.Save(staging.string());
+  std::filesystem::rename(staging, path);
+  return built;
+}
+
+/// Appends tidy rows to the shared bench CSV (`--csv FILE`); disabled when
+/// the flag is empty. The header is written once per file.
+class CsvAppender {
+ public:
+  explicit CsvAppender(const CliParser& cli) {
+    std::string path = cli.GetString("csv");
+    if (path.empty()) return;
+    bool fresh = !std::filesystem::exists(path) ||
+                 std::filesystem::file_size(path) == 0;
+    file_ = std::fopen(path.c_str(), "a");
+    GCM_CHECK_MSG(file_ != nullptr, "cannot open csv file: " << path);
+    if (fresh) {
+      std::fprintf(file_, "bench,dataset,config,metric,value\n");
+    }
+  }
+  ~CsvAppender() {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+  CsvAppender(const CsvAppender&) = delete;
+  CsvAppender& operator=(const CsvAppender&) = delete;
+
+  bool enabled() const { return file_ != nullptr; }
+
+  void Row(const std::string& bench, const std::string& dataset,
+           const std::string& config, const std::string& metric,
+           double value) {
+    if (file_ == nullptr) return;
+    std::fprintf(file_, "%s,%s,%s,%s,%.6g\n", bench.c_str(), dataset.c_str(),
+                 config.c_str(), metric.c_str(), value);
+  }
+
+ private:
+  std::FILE* file_ = nullptr;
+};
 
 inline void PrintHeader(const std::string& title) {
   std::printf("==================================================="

@@ -1,0 +1,162 @@
+// Reproducible bench report: runs the Table 1-4 benches at one pinned
+// --scale, collects their tidy CSV rows into a single file, and renders a
+// markdown summary next to it. The snapshot cache makes this cheap to
+// re-run: the RePair output of every (dataset, scale, spec) operand is
+// compressed once and loaded from disk afterwards.
+//
+//   $ ./report_driver --bin-dir . --scale 4000 --out-dir report
+//   -> report/bench_report.csv, report/bench_report.md
+//
+// A CTest target (`bench_report`) runs this at the pinned scale so CI can
+// archive the CSV as a build artifact and compare runs over time.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/cli.hpp"
+#include "util/common.hpp"
+
+using namespace gcm;
+
+namespace {
+
+struct CsvRow {
+  std::string bench, dataset, config, metric;
+  std::string value;
+};
+
+std::vector<CsvRow> ParseCsv(const std::string& path) {
+  std::ifstream in(path);
+  GCM_CHECK_MSG(in.good(), "cannot open " << path);
+  std::vector<CsvRow> rows;
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (first) {  // header
+      first = false;
+      continue;
+    }
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    CsvRow row;
+    GCM_CHECK_MSG(std::getline(fields, row.bench, ',') &&
+                      std::getline(fields, row.dataset, ',') &&
+                      std::getline(fields, row.config, ',') &&
+                      std::getline(fields, row.metric, ',') &&
+                      std::getline(fields, row.value),
+                  "malformed csv row: " << line);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+void WriteMarkdown(const std::vector<CsvRow>& rows, const std::string& path,
+                   const std::string& scale) {
+  std::ofstream out(path, std::ios::trunc);
+  GCM_CHECK_MSG(out.good(), "cannot create " << path);
+  out << "# Bench report (tables 1-4, --scale " << scale << ")\n\n"
+      << "Sizes and peaks are % of the dense rows*cols*8 footprint; times "
+         "are seconds per\nEq. (4) iteration. Regenerate with the "
+         "`bench_report` CTest target or\n`report_driver --scale " << scale
+      << "`.\n";
+  // Group rows by bench, pivot: one table per bench with one row per
+  // (dataset, config) and one column per metric.
+  std::map<std::string, std::vector<const CsvRow*>> by_bench;
+  for (const CsvRow& row : rows) by_bench[row.bench].push_back(&row);
+  for (const auto& [bench, bench_rows] : by_bench) {
+    std::vector<std::string> metrics;
+    std::map<std::pair<std::string, std::string>,
+             std::map<std::string, std::string>> cells;
+    for (const CsvRow* row : bench_rows) {
+      if (std::find(metrics.begin(), metrics.end(), row->metric) ==
+          metrics.end()) {
+        metrics.push_back(row->metric);
+      }
+      cells[{row->dataset, row->config}][row->metric] = row->value;
+    }
+    out << "\n## " << bench << "\n\n| dataset | config |";
+    for (const std::string& metric : metrics) out << ' ' << metric << " |";
+    out << "\n|---|---|";
+    for (std::size_t i = 0; i < metrics.size(); ++i) out << "---|";
+    out << '\n';
+    for (const auto& [key, values] : cells) {
+      out << "| " << key.first << " | " << key.second << " |";
+      for (const std::string& metric : metrics) {
+        auto it = values.find(metric);
+        out << ' ' << (it == values.end() ? "-" : it->second) << " |";
+      }
+      out << '\n';
+    }
+  }
+  GCM_CHECK_MSG(out.good(), "short write on " << path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("report_driver",
+                "run tables 1-4 at a pinned scale, emit CSV + markdown");
+  cli.AddFlag("bin-dir", ".", "directory holding the table bench binaries");
+  cli.AddFlag("out-dir", ".", "where bench_report.{csv,md} are written");
+  cli.AddFlag("scale", "4000", "pinned --scale for every bench");
+  cli.AddFlag("datasets", "all", "forwarded to every bench");
+  cli.AddFlag("iters", "5", "iterations for the timed benches");
+  cli.AddFlag("threads", "4", "threads for the parallel benches");
+  cli.AddFlag("xz", "false", "include the slow xz baseline in table1");
+  if (!cli.Parse(argc, argv)) return 0;
+
+  namespace fs = std::filesystem;
+  fs::path bin_dir(cli.GetString("bin-dir"));
+  fs::path out_dir(cli.GetString("out-dir"));
+  fs::create_directories(out_dir);
+  fs::path csv_path = out_dir / "bench_report.csv";
+  fs::path cache_dir = out_dir / "snapshot_cache";
+  std::error_code discard;
+  fs::remove(csv_path, discard);  // each report starts fresh
+
+  // Quote every path handed to the shell; build trees with spaces in
+  // their paths are routine on user machines.
+  auto quoted = [](const std::string& s) { return "\"" + s + "\""; };
+  std::string common = " --scale " + cli.GetString("scale") + " --datasets " +
+                       cli.GetString("datasets") + " --csv " +
+                       quoted(csv_path.string()) + " --snapshot_cache " +
+                       quoted(cache_dir.string());
+  std::string timed = " --iters " + cli.GetString("iters") + " --threads " +
+                      cli.GetString("threads");
+  struct BenchCmd {
+    const char* binary;
+    std::string extra;
+  };
+  const BenchCmd benches[] = {
+      {"table1_compression", " --xz " + cli.GetString("xz")},
+      {"table2_mvm", timed},
+      {"table3_reordering", ""},
+      {"table4_reordered_vs_cla", timed},
+  };
+  for (const BenchCmd& bench : benches) {
+    fs::path binary = bin_dir / bench.binary;
+    GCM_CHECK_MSG(fs::exists(binary), "bench binary not found: "
+                                          << binary.string()
+                                          << " (pass --bin-dir)");
+    std::string command = quoted(binary.string()) + common + bench.extra;
+    std::printf("== %s\n", command.c_str());
+    std::fflush(stdout);
+    int rc = std::system(command.c_str());
+    GCM_CHECK_MSG(rc == 0, bench.binary << " exited with status " << rc);
+  }
+
+  std::vector<CsvRow> rows = ParseCsv(csv_path.string());
+  GCM_CHECK_MSG(!rows.empty(), "benches produced no csv rows");
+  fs::path md_path = out_dir / "bench_report.md";
+  WriteMarkdown(rows, md_path.string(), cli.GetString("scale"));
+  std::printf("report: %zu rows -> %s and %s\n", rows.size(),
+              csv_path.string().c_str(), md_path.string().c_str());
+  return 0;
+}

@@ -41,6 +41,7 @@ int main(int argc, char** argv) {
               "rows", "cols", "nnz%", "#dist", "gzip", "xz", "csrv", "re_32",
               "re_iv", "re_ans");
 
+  bench::CsvAppender csv(cli);
   for (const DatasetProfile* profile : bench::SelectDatasets(cli)) {
     DenseMatrix dense = bench::Generate(*profile, cli);
     MatrixStats stats = ComputeStats(dense);
@@ -48,13 +49,22 @@ int main(int argc, char** argv) {
 
     u64 gzip = run_gzip ? GzipCompressedSize(dense) : 0;
     u64 xz = run_xz ? XzCompressedSize(dense) : 0;
+    if (run_gzip) {
+      csv.Row("table1", profile->name, "gzip", "size_pct",
+              bench::Pct(gzip, dense_bytes));
+    }
+    if (run_xz) {
+      csv.Row("table1", profile->name, "xz", "size_pct",
+              bench::Pct(xz, dense_bytes));
+    }
 
     // Backend-generic: each column is one engine spec string.
     const char* specs[4] = {"csrv", "gcm:re_32", "gcm:re_iv", "gcm:re_ans"};
     double ratio[4];
     for (int f = 0; f < 4; ++f) {
-      AnyMatrix m = AnyMatrix::Build(dense, specs[f]);
+      AnyMatrix m = bench::BuildCached(dense, specs[f], *profile, cli);
       ratio[f] = bench::Pct(m.CompressedBytes(), dense_bytes);
+      csv.Row("table1", profile->name, specs[f], "size_pct", ratio[f]);
     }
 
     std::printf("%-10s %9zu %5zu %7.2f%% %9zu | ", profile->name.c_str(),

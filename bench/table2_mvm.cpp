@@ -42,9 +42,10 @@ struct Measurement {
 };
 
 Measurement Measure(const DenseMatrix& dense, const std::string& spec,
-                    std::size_t iters, ThreadPool* pool) {
+                    std::size_t iters, ThreadPool* pool,
+                    const DatasetProfile& profile, const CliParser& cli) {
   u64 before_build = MemoryTracker::CurrentBytes();
-  AnyMatrix matrix = AnyMatrix::Build(dense, spec);
+  AnyMatrix matrix = bench::BuildCached(dense, spec, profile, cli);
   PowerIterationResult result =
       RunPowerIteration(matrix, iters, MulContext{pool});
   u64 attributable = result.peak_heap_bytes > before_build
@@ -90,13 +91,19 @@ int main(int argc, char** argv) {
   }
   std::printf("\n");
 
+  bench::CsvAppender csv(cli);
   for (const DatasetProfile* profile : bench::SelectDatasets(cli)) {
     DenseMatrix dense = bench::Generate(*profile, cli);
     std::printf("%-10s |", profile->name.c_str());
     for (const Config& config : configs) {
       Measurement m = Measure(dense, config.spec, iters,
-                              config.use_pool ? &pool : nullptr);
+                              config.use_pool ? &pool : nullptr, *profile,
+                              cli);
       std::printf(" %11.2f%% %8.4f |", m.peak_pct, m.seconds_per_iter);
+      csv.Row("table2", profile->name, config.label, "peak_mem_pct",
+              m.peak_pct);
+      csv.Row("table2", profile->name, config.label, "sec_per_iter",
+              m.seconds_per_iter);
     }
     std::printf("\n");
   }

@@ -32,12 +32,15 @@ int main(int argc, char** argv) {
   std::printf("%-10s %4s | %8s %8s %8s %8s\n", "matrix", "k", "none", "lkh",
               "pathcover", "mwm");
 
+  bench::CsvAppender csv(cli);
   const std::size_t kSparsity[] = {4, 8, 16};
   for (const DatasetProfile* profile : bench::SelectDatasets(cli)) {
     DenseMatrix dense = bench::Generate(*profile, cli);
     u64 dense_bytes = dense.UncompressedBytes();
-    GcMatrix baseline = GcMatrix::FromDense(dense, {GcFormat::kReAns, 12, 0});
+    AnyMatrix baseline = bench::BuildCached(dense, "gcm:re_ans", *profile,
+                                            cli);
     double baseline_pct = bench::Pct(baseline.CompressedBytes(), dense_bytes);
+    csv.Row("table3", profile->name, "none", "size_pct", baseline_pct);
 
     // Pair scores are computed once; pruning is applied per k.
     CsmOptions full;
@@ -57,11 +60,15 @@ int main(int argc, char** argv) {
       ReorderAlgorithm algorithms[3] = {ReorderAlgorithm::kTsp,
                                         ReorderAlgorithm::kPathCover,
                                         ReorderAlgorithm::kMwm};
+      const char* labels[3] = {"lkh", "pathcover", "mwm"};
       for (int a = 0; a < 3; ++a) {
         std::vector<u32> order = ComputeColumnOrder(pruned, algorithms[a]);
         CsrvMatrix csrv = CsrvMatrix::FromDense(dense, &order);
         GcMatrix gc = GcMatrix::FromCsrv(csrv, {GcFormat::kReAns, 12, 0});
         pct[a] = bench::Pct(gc.CompressedBytes(), dense_bytes);
+        csv.Row("table3", profile->name,
+                std::string(labels[a]) + "_k" + std::to_string(k),
+                "size_pct", pct[a]);
       }
       std::printf("%-10s %4zu | %7.2f%% %7.2f%% %7.2f%% %7.2f%%\n",
                   profile->name.c_str(), k, baseline_pct, pct[0], pct[1],

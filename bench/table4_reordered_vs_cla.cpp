@@ -75,6 +75,7 @@ int main(int argc, char** argv) {
               "matrix", "reorder", "iv size", "iv mem", "iv t", "ans size",
               "ans mem", "ans t", "cla size", "cla mem", "cla t");
 
+  bench::CsvAppender csv(cli);
   for (const DatasetProfile* profile : bench::SelectDatasets(cli)) {
     DenseMatrix dense = bench::Generate(*profile, cli);
 
@@ -122,6 +123,20 @@ int main(int argc, char** argv) {
                 iv.size_pct, iv.peak_pct, iv.seconds_per_iter, ans.size_pct,
                 ans.peak_pct, ans.seconds_per_iter, cla.size_pct,
                 cla.peak_pct, cla.seconds_per_iter);
+    struct {
+      const char* label;
+      const Row* row;
+    } reported[3] = {{"reordered_re_iv", &iv},
+                     {"reordered_re_ans", &ans},
+                     {"cla", &cla}};
+    for (const auto& entry : reported) {
+      csv.Row("table4", profile->name, entry.label, "size_pct",
+              entry.row->size_pct);
+      csv.Row("table4", profile->name, entry.label, "peak_mem_pct",
+              entry.row->peak_pct);
+      csv.Row("table4", profile->name, entry.label, "sec_per_iter",
+              entry.row->seconds_per_iter);
+    }
   }
   std::printf("\nCLA peak memory includes its compression phase (the paper "
               "measured SystemDS the\nsame way and reported it as an upper "

@@ -2,23 +2,25 @@
 // files, mirroring the utility programs shipped with the paper's original
 // repository (gitlab.com/manzai/mm-repair).
 //
-//   $ ./mm_repair_cli compress  input.dmat output.gcm [--format re_ans]
-//   $ ./mm_repair_cli decompress input.gcm output.dmat
-//   $ ./mm_repair_cli multiply  input.gcm            # Eq. (4) style loop
-//   $ ./mm_repair_cli info      input.gcm
+//   $ ./mm_repair_cli compress   input output.gcsnap [--spec gcm:re_ans]
+//   $ ./mm_repair_cli decompress input.gcsnap output.dmat
+//   $ ./mm_repair_cli multiply   input [--iters N]   # Eq. (4) style loop
+//   $ ./mm_repair_cli info       input
 //
-// Matrix files use the library's binary formats (SaveDense/LoadDense);
-// create one with e.g. the model_server example or the library API.
+// Every command opens its input through the LoadAuto front door, so the
+// input may be an AnyMatrix snapshot, a binary dense/CSRV container, a
+// MatrixMarket file, or plain dense text -- no flags needed. `compress`
+// writes a versioned snapshot (the deployment artifact: reloading it never
+// re-runs RePair). `--save-snapshot PATH` on multiply/info re-saves
+// whatever was loaded as a snapshot, i.e. converts any readable input.
 
 #include <cstdio>
 #include <cstring>
-#include <fstream>
+#include <stdexcept>
 
 #include "core/any_matrix.hpp"
-#include "core/gc_matrix.hpp"
+#include "core/matrix_file.hpp"
 #include "core/power_iteration.hpp"
-#include "encoding/byte_stream.hpp"
-#include "matrix/matrix_io.hpp"
 #include "util/cli.hpp"
 #include "util/format.hpp"
 
@@ -26,47 +28,35 @@ using namespace gcm;
 
 namespace {
 
-constexpr u32 kGcmMagic = 0x314d4347;  // "GCM1"
-
-void SaveCompressed(const GcMatrix& matrix, const std::string& path) {
-  ByteWriter writer;
-  writer.Put<u32>(kGcmMagic);
-  writer.PutVector(matrix.dictionary());
-  matrix.Serialize(&writer);
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  GCM_CHECK_MSG(out.good(), "cannot create " << path);
-  out.write(reinterpret_cast<const char*>(writer.buffer().data()),
-            static_cast<std::streamsize>(writer.size()));
-  GCM_CHECK_MSG(out.good(), "short write on " << path);
-}
-
-GcMatrix LoadCompressed(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  GCM_CHECK_MSG(in.good(), "cannot open " << path);
-  std::vector<u8> bytes((std::istreambuf_iterator<char>(in)),
-                        std::istreambuf_iterator<char>());
-  ByteReader reader(bytes);
-  GCM_CHECK_MSG(reader.Get<u32>() == kGcmMagic,
-                path << " is not a compressed matrix file");
-  auto dictionary = std::make_shared<const std::vector<double>>(
-      reader.GetVector<double>());
-  return GcMatrix::Deserialize(&reader, dictionary);
-}
-
 int Usage() {
   std::fputs(
       "usage: mm_repair_cli <compress|decompress|multiply|info> <input> "
-      "[output] [--format csrv|re_32|re_iv|re_ans] [--iters N]\n",
+      "[output]\n"
+      "       [--spec SPEC] [--format csrv|re_32|re_iv|re_ans] [--iters N]\n"
+      "       [--save-snapshot PATH]\n"
+      "inputs may be snapshots, binary dense/CSRV, MatrixMarket or dense "
+      "text\n",
       stderr);
   return 2;
+}
+
+void MaybeSaveSnapshot(const AnyMatrix& matrix, const CliParser& cli) {
+  std::string path = cli.GetString("save-snapshot");
+  if (path.empty()) return;
+  matrix.Save(path);
+  std::printf("saved %s snapshot (%s) to %s\n", matrix.FormatTag().c_str(),
+              FormatBytes(matrix.CompressedBytes()).c_str(), path.c_str());
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   CliParser cli("mm_repair_cli", "compress/decompress/multiply matrices");
-  cli.AddFlag("format", "re_ans", "compression format for `compress`");
+  cli.AddFlag("spec", "", "engine spec for `compress` (overrides --format)");
+  cli.AddFlag("format", "re_ans", "gcm variant for `compress`");
   cli.AddFlag("iters", "100", "iterations for `multiply`");
+  cli.AddFlag("save-snapshot", "",
+              "re-save the loaded matrix as a snapshot at this path");
   if (!cli.Parse(argc, argv)) return 0;
   if (cli.positional().size() < 2) return Usage();
   const std::string& command = cli.positional()[0];
@@ -75,56 +65,52 @@ int main(int argc, char** argv) {
   try {
     if (command == "compress") {
       if (cli.positional().size() != 3) return Usage();
-      GcBuildOptions options;
+      std::string spec = cli.GetString("spec");
+      if (spec.empty()) spec = "gcm:" + cli.GetString("format");
+      DenseMatrix dense = LoadAuto(input).ToDense();
+      AnyMatrix compressed;
       try {
-        options.format = FormatByName(cli.GetString("format"));
+        compressed = AnyMatrix::Build(dense, spec);
       } catch (const std::invalid_argument& e) {
-        // The shared name parser already lists the valid gc formats; add
-        // the full engine spec list for users coming from the library API.
-        std::fprintf(stderr, "bad --format: %s\n", e.what());
-        std::fprintf(stderr, "engine spec strings (AnyMatrix::Build):");
-        for (const std::string& spec : AnyMatrix::ListSpecs()) {
-          std::fprintf(stderr, " %s", spec.c_str());
-        }
-        std::fprintf(stderr, "\n");
+        std::fprintf(stderr, "bad --spec/--format: %s\n", e.what());
         return 2;
       }
-      DenseMatrix dense = LoadDense(input);
-      GcMatrix compressed = GcMatrix::FromDense(dense, options);
-      SaveCompressed(compressed, cli.positional()[2]);
-      std::printf("%s: %s -> %s (%.2f%% of dense, format %s)\n",
-                  input.c_str(),
+      compressed.Save(cli.positional()[2]);
+      std::printf("%s: %s -> %s (%.2f%% of dense, spec %s)\n", input.c_str(),
                   FormatBytes(dense.UncompressedBytes()).c_str(),
                   FormatBytes(compressed.CompressedBytes()).c_str(),
                   100.0 * static_cast<double>(compressed.CompressedBytes()) /
                       static_cast<double>(dense.UncompressedBytes()),
-                  FormatName(options.format));
+                  compressed.FormatTag().c_str());
     } else if (command == "decompress") {
       if (cli.positional().size() != 3) return Usage();
-      GcMatrix compressed = LoadCompressed(input);
-      SaveDense(compressed.ToDense(), cli.positional()[2]);
-      std::printf("restored %zux%zu dense matrix to %s\n", compressed.rows(),
-                  compressed.cols(), cli.positional()[2].c_str());
+      AnyMatrix matrix = LoadAuto(input);
+      SaveDense(matrix.ToDense(), cli.positional()[2]);
+      std::printf("restored %zux%zu dense matrix to %s\n", matrix.rows(),
+                  matrix.cols(), cli.positional()[2].c_str());
     } else if (command == "multiply") {
-      GcMatrix compressed = LoadCompressed(input);
+      AnyMatrix matrix = LoadAuto(input);
       std::size_t iters = static_cast<std::size_t>(cli.GetInt("iters"));
-      PowerIterationResult result =
-          RunPowerIteration(AnyMatrix::Ref(compressed), iters);
+      PowerIterationResult result = RunPowerIteration(matrix, iters);
       std::printf("%zu iterations of y=Mx; x=(y^tM)/|.|_inf : %.4f s/iter, "
                   "peak %s\n",
                   result.iterations, result.seconds_per_iteration,
                   FormatBytes(result.peak_heap_bytes).c_str());
+      MaybeSaveSnapshot(matrix, cli);
     } else if (command == "info") {
-      GcMatrix compressed = LoadCompressed(input);
-      std::printf("%s: %zux%zu, format %s, |C|=%zu, |R|=%zu, |V|=%zu, %s\n",
-                  input.c_str(), compressed.rows(), compressed.cols(),
-                  FormatName(compressed.format()),
-                  compressed.final_sequence_length(),
-                  compressed.rule_count(), compressed.dictionary().size(),
-                  FormatBytes(compressed.CompressedBytes()).c_str());
+      MatrixFileKind kind = SniffMatrixFile(input);
+      AnyMatrix matrix = LoadAuto(input);
+      std::printf("%s: %s file, %zux%zu, backend %s, %s\n", input.c_str(),
+                  MatrixFileKindName(kind), matrix.rows(), matrix.cols(),
+                  matrix.FormatTag().c_str(),
+                  FormatBytes(matrix.CompressedBytes()).c_str());
+      MaybeSaveSnapshot(matrix, cli);
     } else {
       return Usage();
     }
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "encoding/byte_stream.hpp"
 #include "util/enum_names.hpp"
 
 namespace gcm {
@@ -492,6 +493,124 @@ DenseMatrix ClaMatrix::ToDense() const {
     }
   }
   return dense;
+}
+
+void ClaMatrix::SerializeInto(ByteWriter* writer) const {
+  writer->PutVarint(rows_);
+  writer->PutVarint(cols_);
+  writer->PutVarint(groups_.size());
+  for (const Group& group : groups_) {
+    writer->PutVector(group.columns);
+    writer->Put<u8>(static_cast<u8>(group.encoding));
+    writer->PutVarint(group.tuple_count);
+    writer->PutVector(group.dictionary);
+    switch (group.encoding) {
+      case ClaEncoding::kUc:
+        writer->PutVector(group.uc_values);
+        break;
+      case ClaEncoding::kDdc:
+        writer->PutVector(group.ddc_ids);
+        break;
+      case ClaEncoding::kRle:
+        writer->PutVarint(group.rle_runs.size());
+        for (const Group::Run& run : group.rle_runs) {
+          writer->Put<u32>(run.start);
+          writer->Put<u32>(run.length);
+          writer->Put<u32>(run.tuple);
+        }
+        break;
+      case ClaEncoding::kOle:
+        writer->PutVector(group.ole_offsets);
+        writer->PutVector(group.ole_rows);
+        break;
+    }
+  }
+}
+
+ClaMatrix ClaMatrix::DeserializeFrom(ByteReader* reader) {
+  ClaMatrix cla;
+  cla.rows_ = reader->GetVarint();
+  cla.cols_ = reader->GetVarint();
+  std::size_t group_count = reader->GetVarint();
+  for (std::size_t g = 0; g < group_count; ++g) {
+    Group group;
+    group.columns = reader->GetVector<u32>();
+    GCM_CHECK_MSG(!group.columns.empty(),
+                  "CLA group " << g << " has no columns");
+    for (u32 c : group.columns) {
+      GCM_CHECK_MSG(c < cla.cols_, "CLA group " << g << " references column "
+                                                << c << " of " << cla.cols_);
+    }
+    u8 encoding = reader->Get<u8>();
+    GCM_CHECK_MSG(encoding <= static_cast<u8>(ClaEncoding::kOle),
+                  "CLA group " << g << " has bad encoding byte "
+                               << static_cast<int>(encoding));
+    group.encoding = static_cast<ClaEncoding>(encoding);
+    group.tuple_count = reader->GetVarint();
+    group.dictionary = reader->GetVector<double>();
+    GCM_CHECK_MSG(
+        group.dictionary.size() == group.tuple_count * group.columns.size(),
+        "CLA group " << g << " dictionary has " << group.dictionary.size()
+                     << " values for " << group.tuple_count << " tuples of "
+                     << group.columns.size() << " columns");
+    switch (group.encoding) {
+      case ClaEncoding::kUc:
+        group.uc_values = reader->GetVector<double>();
+        GCM_CHECK_MSG(
+            group.uc_values.size() == cla.rows_ * group.columns.size(),
+            "CLA UC group " << g << " payload length mismatch");
+        break;
+      case ClaEncoding::kDdc:
+        group.ddc_ids = reader->GetVector<u32>();
+        GCM_CHECK_MSG(group.ddc_ids.size() == cla.rows_,
+                      "CLA DDC group " << g << " must have one id per row");
+        for (u32 id : group.ddc_ids) {
+          // id == tuple_count encodes the implicit all-zero tuple.
+          GCM_CHECK_MSG(id <= group.tuple_count,
+                        "CLA DDC group " << g << " id out of range");
+        }
+        break;
+      case ClaEncoding::kRle: {
+        std::size_t runs = reader->GetVarint();
+        group.rle_runs.reserve(runs);
+        for (std::size_t i = 0; i < runs; ++i) {
+          Group::Run run;
+          run.start = reader->Get<u32>();
+          run.length = reader->Get<u32>();
+          run.tuple = reader->Get<u32>();
+          GCM_CHECK_MSG(run.tuple < group.tuple_count &&
+                            run.length > 0 &&
+                            static_cast<u64>(run.start) + run.length <=
+                                cla.rows_,
+                        "CLA RLE group " << g << " run " << i
+                                         << " out of range");
+          group.rle_runs.push_back(run);
+        }
+        break;
+      }
+      case ClaEncoding::kOle:
+        group.ole_offsets = reader->GetVector<u32>();
+        group.ole_rows = reader->GetVector<u32>();
+        GCM_CHECK_MSG(group.ole_offsets.size() == group.tuple_count + 1,
+                      "CLA OLE group " << g
+                                       << " must have tuples+1 offsets");
+        GCM_CHECK_MSG(group.ole_offsets.front() == 0 &&
+                          group.ole_offsets.back() == group.ole_rows.size(),
+                      "CLA OLE group " << g
+                                       << " offsets must span the row list");
+        for (std::size_t t = 0; t < group.tuple_count; ++t) {
+          GCM_CHECK_MSG(group.ole_offsets[t] <= group.ole_offsets[t + 1],
+                        "CLA OLE group " << g << " offsets must be monotone");
+        }
+        for (u32 row : group.ole_rows) {
+          GCM_CHECK_MSG(row < cla.rows_,
+                        "CLA OLE group " << g << " row index out of range");
+        }
+        break;
+    }
+    cla.groups_.push_back(std::move(group));
+  }
+  return cla;
 }
 
 std::string ClaMatrix::PlanSummary() const {

@@ -37,6 +37,9 @@
 
 namespace gcm {
 
+class ByteReader;
+class ByteWriter;
+
 enum class ClaEncoding { kUc, kDdc, kRle, kOle };
 
 const char* ClaEncodingName(ClaEncoding encoding);
@@ -89,6 +92,12 @@ class ClaMatrix {
 
   /// Human-readable per-group summary (encoding, #cols, #tuples, bytes).
   std::string PlanSummary() const;
+
+  /// Snapshot payload: dims + every column group with its encoding-specific
+  /// arrays. DeserializeFrom validates group structure (column/tuple/row
+  /// ranges, offset monotonicity) so corrupt payloads fail loudly.
+  void SerializeInto(ByteWriter* writer) const;
+  static ClaMatrix DeserializeFrom(ByteReader* reader);
 
  private:
   struct Group {

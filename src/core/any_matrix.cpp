@@ -12,6 +12,7 @@
 #include "core/blocked_matrix.hpp"
 #include "core/format_advisor.hpp"
 #include "core/gc_matrix.hpp"
+#include "encoding/snapshot.hpp"
 #include "matrix/csr.hpp"
 #include "matrix/csrv.hpp"
 #include "matrix/dense_matrix.hpp"
@@ -20,6 +21,27 @@
 
 namespace gcm {
 namespace {
+
+/// The engine-owned snapshot section (dims + size, written by Save and
+/// cross-checked by Load before any payload is parsed).
+constexpr const char* kMetaSection = "meta";
+
+/// Snapshot payload section name of each backend type. GcMatrix and
+/// BlockedGcMatrix use distinct names so the gcm loader can tell a single
+/// block from a blocked container without trusting the spec parameters.
+template <typename M>
+constexpr const char* PayloadSectionName() {
+  if constexpr (std::is_same_v<M, DenseMatrix>) return "dense";
+  else if constexpr (std::is_same_v<M, CsrMatrix>) return "csr";
+  else if constexpr (std::is_same_v<M, CsrIvMatrix>) return "csr_iv";
+  else if constexpr (std::is_same_v<M, CsrvMatrix>) return "csrv";
+  else if constexpr (std::is_same_v<M, GcMatrix>) return "gcm";
+  else if constexpr (std::is_same_v<M, BlockedGcMatrix>) return "gcm_blocked";
+  else {
+    static_assert(std::is_same_v<M, ClaMatrix>, "unmapped backend type");
+    return "cla";
+  }
+}
 
 // ---------------------------------------------------------------------------
 // Backend adapters
@@ -109,6 +131,10 @@ class KernelAdapter final : public IMatrixKernel {
     }
   }
 
+  void SaveSections(SnapshotWriter* out) const override {
+    matrix_->SerializeInto(&out->BeginSection(PayloadSectionName<M>()));
+  }
+
  private:
   std::unique_ptr<const M> owned_;  ///< null for Ref adapters
   const M* matrix_;
@@ -135,7 +161,28 @@ struct SpecFamily {
   /// Allowed ?key names.
   std::vector<std::string_view> keys;
   AnyMatrix (*build)(const DenseMatrix&, const MatrixSpec&);
+  /// Restores a matrix of this family from a snapshot; nullptr for
+  /// families that never appear in snapshot headers ("auto" resolves to a
+  /// concrete backend before Save runs).
+  AnyMatrix (*load)(const SnapshotReader&, const MatrixSpec&);
 };
+
+/// Parses one backend payload section; every failure inside is rethrown
+/// with the section name attached, so corruption reports say *where* the
+/// file broke, not just how.
+template <typename M>
+AnyMatrix LoadPayloadSection(const SnapshotReader& in) {
+  const char* section = PayloadSectionName<M>();
+  ByteReader reader = in.OpenSection(section);
+  try {
+    M matrix = M::DeserializeFrom(&reader);
+    GCM_CHECK_MSG(reader.AtEnd(), "trailing bytes");
+    return AnyMatrix::Wrap(std::move(matrix));
+  } catch (const Error& e) {
+    throw Error("snapshot section \"" + std::string(section) +
+                "\" is corrupt: " + e.what());
+  }
+}
 
 AnyMatrix BuildDenseSpec(const DenseMatrix& dense, const MatrixSpec&) {
   return AnyMatrix::Wrap(DenseMatrix(dense));
@@ -191,21 +238,51 @@ AnyMatrix BuildAutoSpec(const DenseMatrix& dense, const MatrixSpec& spec) {
   return AdviseFormat(dense, constraints, nullptr);
 }
 
+AnyMatrix LoadDenseSnapshot(const SnapshotReader& in, const MatrixSpec&) {
+  return LoadPayloadSection<DenseMatrix>(in);
+}
+
+AnyMatrix LoadCsrSnapshot(const SnapshotReader& in, const MatrixSpec&) {
+  return LoadPayloadSection<CsrMatrix>(in);
+}
+
+AnyMatrix LoadCsrIvSnapshot(const SnapshotReader& in, const MatrixSpec&) {
+  return LoadPayloadSection<CsrIvMatrix>(in);
+}
+
+AnyMatrix LoadCsrvSnapshot(const SnapshotReader& in, const MatrixSpec&) {
+  return LoadPayloadSection<CsrvMatrix>(in);
+}
+
+AnyMatrix LoadGcmSnapshot(const SnapshotReader& in, const MatrixSpec&) {
+  if (in.HasSection(PayloadSectionName<BlockedGcMatrix>())) {
+    return LoadPayloadSection<BlockedGcMatrix>(in);
+  }
+  return LoadPayloadSection<GcMatrix>(in);
+}
+
+AnyMatrix LoadClaSnapshot(const SnapshotReader& in, const MatrixSpec&) {
+  return LoadPayloadSection<ClaMatrix>(in);
+}
+
 const std::vector<SpecFamily>& Registry() {
   static const std::vector<SpecFamily> registry = {
-      {"dense", {}, {}, &BuildDenseSpec},
-      {"csr", {}, {}, &BuildCsrSpec},
-      {"csr_iv", {}, {}, &BuildCsrIvSpec},
-      {"csrv", {}, {}, &BuildCsrvSpec},
+      {"dense", {}, {}, &BuildDenseSpec, &LoadDenseSnapshot},
+      {"csr", {}, {}, &BuildCsrSpec, &LoadCsrSnapshot},
+      {"csr_iv", {}, {}, &BuildCsrIvSpec, &LoadCsrIvSnapshot},
+      {"csrv", {}, {}, &BuildCsrvSpec, &LoadCsrvSnapshot},
       {"gcm",
        {"csrv", "re_32", "re_iv", "re_ans"},
        {"blocks", "fold_bits", "max_rules"},
-       &BuildGcmSpec},
+       &BuildGcmSpec,
+       &LoadGcmSnapshot},
       {"cla",
        {},
        {"co_code", "sample_rows", "max_group_size", "max_candidates"},
-       &BuildClaSpec},
-      {"auto", {}, {"budget", "blocks", "sample_rows"}, &BuildAutoSpec},
+       &BuildClaSpec,
+       &LoadClaSnapshot},
+      {"auto", {}, {"budget", "blocks", "sample_rows"}, &BuildAutoSpec,
+       nullptr},
   };
   return registry;
 }
@@ -488,6 +565,75 @@ AnyMatrix AnyMatrix::Ref(const BlockedGcMatrix& matrix) {
   return MakeRef(matrix);
 }
 AnyMatrix AnyMatrix::Ref(const ClaMatrix& matrix) { return MakeRef(matrix); }
+
+// ---------------------------------------------------------------------------
+// Snapshot persistence
+// ---------------------------------------------------------------------------
+
+void IMatrixKernel::SaveSections(SnapshotWriter*) const {
+  throw Error("backend \"" + FormatTag() +
+              "\" does not implement snapshot serialization");
+}
+
+std::vector<u8> AnyMatrix::SaveSnapshotBytes() const {
+  const IMatrixKernel& k = kernel();
+  SnapshotWriter out(k.FormatTag());
+  ByteWriter& meta = out.BeginSection(kMetaSection);
+  meta.PutVarint(k.rows());
+  meta.PutVarint(k.cols());
+  meta.Put<u64>(k.CompressedBytes());
+  k.SaveSections(&out);
+  return out.Finish();
+}
+
+void AnyMatrix::Save(const std::string& path) const {
+  WriteFileBytes(path, SaveSnapshotBytes());
+}
+
+AnyMatrix AnyMatrix::LoadSnapshotBytes(std::vector<u8> bytes) {
+  SnapshotReader in(std::move(bytes));
+  MatrixSpec spec = MatrixSpec::Parse(in.spec());
+  const SpecFamily& family = ValidateSpec(spec);
+  if (family.load == nullptr) {
+    throw std::invalid_argument("snapshot spec \"" + in.spec() +
+                                "\" is not a storable backend" +
+                                RegisteredSpecsSuffix());
+  }
+
+  std::size_t meta_rows = 0;
+  std::size_t meta_cols = 0;
+  try {
+    ByteReader meta = in.OpenSection(kMetaSection);
+    meta_rows = meta.GetVarint();
+    meta_cols = meta.GetVarint();
+    meta.Get<u64>();  // compressed bytes; informational
+    GCM_CHECK_MSG(meta.AtEnd(), "trailing bytes");
+  } catch (const Error& e) {
+    throw Error("snapshot section \"" + std::string(kMetaSection) +
+                "\" is corrupt: " + e.what());
+  }
+
+  AnyMatrix loaded = family.load(in, spec);
+  GCM_CHECK_MSG(loaded.rows() == meta_rows && loaded.cols() == meta_cols,
+                "snapshot payload is a " << loaded.rows() << "x"
+                                         << loaded.cols()
+                                         << " matrix but the meta section "
+                                            "declares "
+                                         << meta_rows << "x" << meta_cols);
+  return loaded;
+}
+
+AnyMatrix AnyMatrix::Load(const std::string& path) {
+  try {
+    return LoadSnapshotBytes(ReadFileBytes(path));
+  } catch (const Error& e) {
+    throw Error(path + ": " + e.what());
+  } catch (const std::invalid_argument& e) {
+    // Unknown/unstorable spec tags keep their type (callers distinguish
+    // bad-spec from corruption) but must still name the file.
+    throw std::invalid_argument(path + ": " + e.what());
+  }
+}
 
 std::vector<std::string> AnyMatrix::ListSpecs() {
   std::vector<std::string> specs;

@@ -60,6 +60,8 @@ class CsrvMatrix;
 class GcMatrix;
 class BlockedGcMatrix;
 class ClaMatrix;
+class SnapshotReader;
+class SnapshotWriter;
 class ThreadPool;
 struct Triplet;
 
@@ -97,6 +99,11 @@ class IMatrixKernel {
 
   /// Materializes the dense equivalent (testing / conversion).
   virtual DenseMatrix ToDense() const = 0;
+
+  /// Writes the backend's snapshot sections (the engine adds the "meta"
+  /// section and the container header itself). The default rejects the
+  /// operation, so external kernels opt in explicitly.
+  virtual void SaveSections(SnapshotWriter* out) const;
 };
 
 /// A parsed spec string: family[:variant][?key=value[&key=value]...].
@@ -172,6 +179,18 @@ class AnyMatrix {
   /// Every registered spec, one canonical buildable string per backend
   /// variant (the list error messages and conformance tests iterate).
   static std::vector<std::string> ListSpecs();
+
+  /// Versioned binary snapshot persistence (encoding/snapshot.hpp): the
+  /// backend's representation is written as-is -- a RePair grammar or rANS
+  /// stream is never re-encoded, so Load skips the entire construction
+  /// pipeline. Load dispatches on the stored spec tag through the same
+  /// registry as Build; unknown tags throw std::invalid_argument listing
+  /// every registered spec, corrupt payloads throw gcm::Error naming the
+  /// offending section.
+  void Save(const std::string& path) const;
+  std::vector<u8> SaveSnapshotBytes() const;
+  static AnyMatrix Load(const std::string& path);
+  static AnyMatrix LoadSnapshotBytes(std::vector<u8> bytes);
 
   bool valid() const { return kernel_ != nullptr; }
 

@@ -122,6 +122,49 @@ void BlockedGcMatrix::MultiplyLeftInto(std::span<const double> y,
   }
 }
 
+void BlockedGcMatrix::SerializeInto(ByteWriter* writer) const {
+  writer->PutVarint(rows_);
+  writer->PutVarint(cols_);
+  // One dictionary for all blocks (the container's defining invariant).
+  static const std::vector<double> kEmptyDict;
+  writer->PutVector(blocks_.empty() ? kEmptyDict
+                                    : blocks_.front().dictionary());
+  writer->PutVarint(blocks_.size());
+  for (std::size_t b = 0; b < blocks_.size(); ++b) {
+    writer->PutVarint(row_offsets_[b]);
+    blocks_[b].Serialize(writer);
+  }
+}
+
+BlockedGcMatrix BlockedGcMatrix::DeserializeFrom(ByteReader* reader) {
+  BlockedGcMatrix out;
+  out.rows_ = reader->GetVarint();
+  out.cols_ = reader->GetVarint();
+  auto dict = std::make_shared<const std::vector<double>>(
+      reader->GetVector<double>());
+  std::size_t block_count = reader->GetVarint();
+  GCM_CHECK_MSG(block_count > 0, "blocked matrix with zero blocks");
+  std::size_t covered = 0;
+  for (std::size_t b = 0; b < block_count; ++b) {
+    std::size_t offset = reader->GetVarint();
+    GCM_CHECK_MSG(offset == covered,
+                  "block " << b << " starts at row " << offset
+                           << ", expected " << covered
+                           << " (blocks must tile the rows)");
+    GcMatrix block = GcMatrix::Deserialize(reader, dict);
+    GCM_CHECK_MSG(block.cols() == out.cols_,
+                  "block " << b << " has " << block.cols()
+                           << " columns, container has " << out.cols_);
+    covered += block.rows();
+    out.row_offsets_.push_back(offset);
+    out.blocks_.push_back(std::move(block));
+  }
+  GCM_CHECK_MSG(covered == out.rows_,
+                "blocks cover " << covered << " rows, container declares "
+                                << out.rows_);
+  return out;
+}
+
 DenseMatrix BlockedGcMatrix::ToDense() const {
   DenseMatrix dense(rows_, cols_);
   for (std::size_t b = 0; b < blocks_.size(); ++b) {

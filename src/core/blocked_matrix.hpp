@@ -59,6 +59,12 @@ class BlockedGcMatrix {
 
   DenseMatrix ToDense() const;
 
+  /// Snapshot payload: dims, block layout, the shared dictionary once, and
+  /// every block's grammar payload. DeserializeFrom validates the layout
+  /// (contiguous blocks covering all rows, matching widths).
+  void SerializeInto(ByteWriter* writer) const;
+  static BlockedGcMatrix DeserializeFrom(ByteReader* reader);
+
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;

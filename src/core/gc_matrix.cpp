@@ -182,15 +182,61 @@ std::vector<double> GcMatrix::MultiplyLeft(const std::vector<double>& y) const {
   return x;
 }
 
+namespace {
+
+/// Minimum C symbols per worker before the two-pass chunked scan pays for
+/// its extra sentinel-counting pass.
+constexpr std::size_t kParallelScanGrain = 4096;
+
+}  // namespace
+
+u32 GcMatrix::FinalSymbolAt(std::size_t i) const {
+  GCM_ASSERT(format_ != GcFormat::kReAns);
+  return format_ == GcFormat::kReIv ? static_cast<u32>(c_packed_.Get(i))
+                                    : c_plain_[i];
+}
+
+std::size_t GcMatrix::ScanChunkCount(const ThreadPool* pool) const {
+  if (pool == nullptr || format_ == GcFormat::kReAns || rows_ == 0) return 1;
+  std::size_t by_grain = c_length_ / kParallelScanGrain;
+  return std::max<std::size_t>(1, std::min(pool->size(), by_grain));
+}
+
+std::vector<std::size_t> GcMatrix::ChunkRowStarts(std::size_t chunks,
+                                                  ThreadPool* pool) const {
+  std::size_t per_chunk = (c_length_ + chunks - 1) / chunks;
+  std::vector<std::size_t> counts(chunks, 0);
+  pool->ParallelFor(chunks, [&](std::size_t c) {
+    std::size_t begin = c * per_chunk;
+    std::size_t end = std::min(c_length_, begin + per_chunk);
+    std::size_t sentinels = 0;
+    for (std::size_t i = begin; i < end; ++i) {
+      if (FinalSymbolAt(i) == kCsrvSentinel) ++sentinels;
+    }
+    counts[c] = sentinels;
+  });
+  std::vector<std::size_t> starts(chunks, 0);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    starts[c] = total;
+    total += counts[c];
+  }
+  GCM_CHECK_MSG(total == rows_, "compressed sequence closed " << total
+                                    << " rows, expected " << rows_);
+  return starts;
+}
+
 void GcMatrix::MultiplyRightInto(std::span<const double> x,
-                                 std::span<double> y) const {
+                                 std::span<double> y,
+                                 ThreadPool* pool) const {
   GCM_CHECK_MSG(x.size() == cols_, "MultiplyRight: wrong vector length");
   GCM_CHECK_MSG(y.size() == rows_, "MultiplyRight: wrong output length");
   const std::vector<double>& dict = *dict_;
   const u32 cols = static_cast<u32>(cols_);
 
   // Forward pass over R: W[i] = eval_x(N_i) (Lemma 3.2; each side is either
-  // a terminal pair evaluated directly or an earlier nonterminal).
+  // a terminal pair evaluated directly or an earlier nonterminal). Rules
+  // may reference earlier rules, so this pass stays sequential.
   std::vector<double> w(rule_count_, 0.0);
   auto eval = [&](u32 symbol) -> double {
     if (symbol >= alphabet_size_) return w[symbol - alphabet_size_];
@@ -200,6 +246,12 @@ void GcMatrix::MultiplyRightInto(std::span<const double> x,
   };
   for (std::size_t i = 0; i < rule_count_; ++i) {
     w[i] = eval(RuleLeft(i)) + eval(RuleRight(i));
+  }
+
+  std::size_t chunks = ScanChunkCount(pool);
+  if (chunks > 1) {
+    ParallelRightScan(x, y, w, chunks, pool);
+    return;
   }
 
   // Scan of C: accumulate per-row partial sums, closing a row at each
@@ -218,8 +270,74 @@ void GcMatrix::MultiplyRightInto(std::span<const double> x,
                                   << " rows, expected " << rows_);
 }
 
+void GcMatrix::ParallelRightScan(std::span<const double> x,
+                                 std::span<double> y,
+                                 const std::vector<double>& w,
+                                 std::size_t chunks, ThreadPool* pool) const {
+  const std::vector<double>& dict = *dict_;
+  const u32 cols = static_cast<u32>(cols_);
+  std::vector<std::size_t> row_start = ChunkRowStarts(chunks, pool);
+  std::size_t per_chunk = (c_length_ + chunks - 1) / chunks;
+
+  // Per chunk: the partial sum before its first sentinel (head), the
+  // partial after its last sentinel (tail), and whether it saw a sentinel
+  // at all. Rows fully inside a chunk are written to y directly; the rows
+  // cut by chunk boundaries are stitched sequentially below.
+  std::vector<double> head(chunks, 0.0);
+  std::vector<double> tail(chunks, 0.0);
+  std::vector<u8> closed_row(chunks, 0);
+  pool->ParallelFor(chunks, [&](std::size_t c) {
+    std::size_t begin = c * per_chunk;
+    std::size_t end = std::min(c_length_, begin + per_chunk);
+    std::size_t row = row_start[c];
+    bool saw_sentinel = false;
+    double acc = 0.0;
+    for (std::size_t i = begin; i < end; ++i) {
+      u32 symbol = FinalSymbolAt(i);
+      if (symbol != kCsrvSentinel) {
+        if (symbol >= alphabet_size_) {
+          acc += w[symbol - alphabet_size_];
+        } else {
+          u32 packed = symbol - 1;
+          acc += dict[packed / cols] * x[packed % cols];
+        }
+        continue;
+      }
+      if (!saw_sentinel) {
+        head[c] = acc;  // closes row_start[c]; needs the previous chunks
+        saw_sentinel = true;
+      } else {
+        y[row] = acc;  // row fully contained in this chunk
+      }
+      ++row;
+      acc = 0.0;
+    }
+    if (!saw_sentinel) {
+      head[c] = acc;  // whole chunk is one partial row
+    }
+    tail[c] = acc;
+    closed_row[c] = saw_sentinel ? 1 : 0;
+  });
+
+  // Stitch boundary rows: carry the running partial of the row that is
+  // open at each chunk boundary.
+  double carry = 0.0;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    if (closed_row[c]) {
+      y[row_start[c]] = carry + head[c];
+      carry = tail[c];
+    } else {
+      carry += head[c];
+    }
+  }
+  // Every row is sentinel-terminated, so the final carry is the (empty)
+  // partial after the last sentinel.
+  GCM_ASSERT(carry == 0.0);
+}
+
 void GcMatrix::MultiplyLeftInto(std::span<const double> y,
-                                std::span<double> x) const {
+                                std::span<double> x,
+                                ThreadPool* pool) const {
   GCM_CHECK_MSG(y.size() == rows_, "MultiplyLeft: wrong vector length");
   GCM_CHECK_MSG(x.size() == cols_, "MultiplyLeft: wrong output length");
   const std::vector<double>& dict = *dict_;
@@ -229,21 +347,26 @@ void GcMatrix::MultiplyLeftInto(std::span<const double> y,
   // Scan of C: seed W with row weights for nonterminals appearing in C;
   // terminals in C contribute directly (Section 4's generalization).
   std::vector<double> w(rule_count_, 0.0);
-  std::size_t row = 0;
-  ForEachFinalSymbol([&](u32 symbol) {
-    if (symbol == kCsrvSentinel) {
-      ++row;
-      return;
-    }
-    if (symbol >= alphabet_size_) {
-      w[symbol - alphabet_size_] += y[row];
-    } else {
-      u32 packed = symbol - 1;
-      x[packed % cols] += y[row] * dict[packed / cols];
-    }
-  });
-  GCM_CHECK_MSG(row == rows_, "compressed sequence closed " << row
-                                  << " rows, expected " << rows_);
+  std::size_t chunks = ScanChunkCount(pool);
+  if (chunks > 1) {
+    ParallelLeftScan(y, x, &w, chunks, pool);
+  } else {
+    std::size_t row = 0;
+    ForEachFinalSymbol([&](u32 symbol) {
+      if (symbol == kCsrvSentinel) {
+        ++row;
+        return;
+      }
+      if (symbol >= alphabet_size_) {
+        w[symbol - alphabet_size_] += y[row];
+      } else {
+        u32 packed = symbol - 1;
+        x[packed % cols] += y[row] * dict[packed / cols];
+      }
+    });
+    GCM_CHECK_MSG(row == rows_, "compressed sequence closed " << row
+                                    << " rows, expected " << rows_);
+  }
 
   // Backward pass over R (Lemma 3.9): when rule j is reached, W[j] already
   // equals sum_y(N_j); push it into children or accumulate into x.
@@ -258,6 +381,48 @@ void GcMatrix::MultiplyLeftInto(std::span<const double> y,
         x[packed % cols] += dict[packed / cols] * weight;
       }
     }
+  }
+}
+
+void GcMatrix::ParallelLeftScan(std::span<const double> y,
+                                std::span<double> x, std::vector<double>* w,
+                                std::size_t chunks, ThreadPool* pool) const {
+  const std::vector<double>& dict = *dict_;
+  const u32 cols = static_cast<u32>(cols_);
+  std::vector<std::size_t> row_start = ChunkRowStarts(chunks, pool);
+  std::size_t per_chunk = (c_length_ + chunks - 1) / chunks;
+
+  // Chunks scatter into W and x, so each keeps private accumulators
+  // (O(chunks * (|R| + cols)) words, the same order as the multi-vector
+  // kernels' auxiliary space); the reduction below restores determinism-
+  // free correctness without atomics.
+  std::vector<std::vector<double>> w_parts(chunks);
+  std::vector<std::vector<double>> x_parts(chunks);
+  pool->ParallelFor(chunks, [&](std::size_t c) {
+    std::size_t begin = c * per_chunk;
+    std::size_t end = std::min(c_length_, begin + per_chunk);
+    std::vector<double>& local_w = w_parts[c];
+    std::vector<double>& local_x = x_parts[c];
+    local_w.assign(rule_count_, 0.0);
+    local_x.assign(cols_, 0.0);
+    std::size_t row = row_start[c];
+    for (std::size_t i = begin; i < end; ++i) {
+      u32 symbol = FinalSymbolAt(i);
+      if (symbol == kCsrvSentinel) {
+        ++row;
+        continue;
+      }
+      if (symbol >= alphabet_size_) {
+        local_w[symbol - alphabet_size_] += y[row];
+      } else {
+        u32 packed = symbol - 1;
+        local_x[packed % cols] += y[row] * dict[packed / cols];
+      }
+    }
+  });
+  for (std::size_t c = 0; c < chunks; ++c) {
+    for (std::size_t j = 0; j < rule_count_; ++j) (*w)[j] += w_parts[c][j];
+    for (std::size_t j = 0; j < cols_; ++j) x[j] += x_parts[c][j];
   }
 }
 
@@ -491,6 +656,17 @@ void GcMatrix::Serialize(ByteWriter* writer) const {
   }
 }
 
+void GcMatrix::SerializeInto(ByteWriter* writer) const {
+  writer->PutVector(*dict_);
+  Serialize(writer);
+}
+
+GcMatrix GcMatrix::DeserializeFrom(ByteReader* reader) {
+  auto dict = std::make_shared<const std::vector<double>>(
+      reader->GetVector<double>());
+  return Deserialize(reader, std::move(dict));
+}
+
 GcMatrix GcMatrix::Deserialize(ByteReader* reader, SharedDict dict) {
   GCM_CHECK(dict != nullptr);
   GcMatrix m;
@@ -535,6 +711,40 @@ GcMatrix GcMatrix::Deserialize(ByteReader* reader, SharedDict dict) {
       break;
     }
   }
+
+  // Range-check every stored symbol before the kernels trust it: the
+  // multiply passes index the W array and the dictionary straight off
+  // these values, so a checksum-valid but corrupt payload must fail here,
+  // not scribble over the heap mid-multiply. One linear scan; for re_ans
+  // this decodes the stream once (still no re-encoding).
+  u32 symbol_limit = m.alphabet_size_ + static_cast<u32>(m.rule_count_);
+  for (std::size_t i = 0; i < m.rule_count_; ++i) {
+    for (u32 symbol : {m.RuleLeft(i), m.RuleRight(i)}) {
+      GCM_CHECK_MSG(symbol != kCsrvSentinel,
+                    "corrupt GcMatrix: rule " << i
+                                              << " contains the sentinel");
+      GCM_CHECK_MSG(symbol < m.alphabet_size_ + i,
+                    "corrupt GcMatrix: rule " << i << " references symbol "
+                                              << symbol
+                                              << " before it is defined");
+    }
+  }
+  std::size_t sentinels = 0;
+  m.ForEachFinalSymbol([&](u32 symbol) {
+    if (symbol == kCsrvSentinel) {
+      ++sentinels;
+      return;
+    }
+    GCM_CHECK_MSG(symbol < symbol_limit,
+                  "corrupt GcMatrix: sequence symbol " << symbol
+                                                       << " outside alphabet "
+                                                       << symbol_limit);
+  });
+  GCM_CHECK_MSG(sentinels == m.rows_,
+                "corrupt GcMatrix: sequence closes " << sentinels
+                                                     << " rows, header "
+                                                        "declares "
+                                                     << m.rows_);
   return m;
 }
 

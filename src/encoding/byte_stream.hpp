@@ -113,6 +113,12 @@ class ByteReader {
     return value;
   }
 
+  /// Advances past `size` bytes without copying them.
+  void Skip(std::size_t size) {
+    Require(size);
+    pos_ += size;
+  }
+
   std::size_t pos() const { return pos_; }
   std::size_t Remaining() const { return size_ - pos_; }
   bool AtEnd() const { return pos_ == size_; }

@@ -1,0 +1,177 @@
+#include "encoding/snapshot.hpp"
+
+#include <array>
+#include <fstream>
+
+namespace gcm {
+namespace {
+
+std::array<u32, 256> BuildCrcTable() {
+  std::array<u32, 256> table{};
+  for (u32 i = 0; i < 256; ++i) {
+    u32 crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1) ? 0xedb88320u : 0);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+}  // namespace
+
+u32 Crc32(const void* data, std::size_t size, u32 seed) {
+  static const std::array<u32, 256> table = BuildCrcTable();
+  const u8* bytes = static_cast<const u8*>(data);
+  u32 crc = ~seed;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = (crc >> 8) ^ table[(crc ^ bytes[i]) & 0xff];
+  }
+  return ~crc;
+}
+
+std::vector<u8> ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  GCM_CHECK_MSG(in.good(), "cannot open file: " << path);
+  in.seekg(0, std::ios::end);
+  std::streamoff size = in.tellg();
+  in.seekg(0, std::ios::beg);
+  std::vector<u8> data(static_cast<std::size_t>(size));
+  in.read(reinterpret_cast<char*>(data.data()), size);
+  GCM_CHECK_MSG(in.good(), "short read on file: " << path);
+  return data;
+}
+
+void WriteFileBytes(const std::string& path, const std::vector<u8>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  GCM_CHECK_MSG(out.good(), "cannot create file: " << path);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  GCM_CHECK_MSG(out.good(), "short write on file: " << path);
+}
+
+// ---------------------------------------------------------------------------
+// SnapshotWriter
+// ---------------------------------------------------------------------------
+
+SnapshotWriter::SnapshotWriter(std::string spec) : spec_(std::move(spec)) {
+  GCM_CHECK_MSG(!spec_.empty(), "snapshot spec string must not be empty");
+}
+
+ByteWriter& SnapshotWriter::BeginSection(const std::string& name) {
+  GCM_CHECK_MSG(!name.empty(), "snapshot section name must not be empty");
+  for (const auto& [existing, writer] : sections_) {
+    GCM_CHECK_MSG(existing != name,
+                  "duplicate snapshot section \"" << name << "\"");
+  }
+  sections_.emplace_back(name, ByteWriter());
+  return sections_.back().second;
+}
+
+std::vector<u8> SnapshotWriter::Finish() const {
+  // Body = everything covered by the checksum (spec + section table).
+  ByteWriter body;
+  body.PutString(spec_);
+  body.PutVarint(sections_.size());
+  for (const auto& [name, writer] : sections_) {
+    body.PutString(name);
+    body.PutVarint(writer.size());
+    body.PutBytes(writer.buffer().data(), writer.size());
+  }
+  ByteWriter out;
+  out.Put<u32>(kSnapshotMagic);
+  out.Put<u32>(kSnapshotVersion);
+  out.Put<u32>(Crc32(body.buffer().data(), body.size()));
+  out.PutBytes(body.buffer().data(), body.size());
+  return out.TakeBuffer();
+}
+
+void SnapshotWriter::WriteFile(const std::string& path) const {
+  WriteFileBytes(path, Finish());
+}
+
+// ---------------------------------------------------------------------------
+// SnapshotReader
+// ---------------------------------------------------------------------------
+
+SnapshotReader::SnapshotReader(std::vector<u8> bytes)
+    : bytes_(std::move(bytes)) {
+  GCM_CHECK_MSG(bytes_.size() >= 12,
+                "not a gcm snapshot: " << bytes_.size()
+                                       << " bytes is shorter than the header");
+  ByteReader reader(bytes_);
+  GCM_CHECK_MSG(reader.Get<u32>() == kSnapshotMagic,
+                "not a gcm snapshot (bad magic)");
+  u32 version = reader.Get<u32>();
+  GCM_CHECK_MSG(version == kSnapshotVersion,
+                "unsupported snapshot version " << version
+                                                << " (this build reads version "
+                                                << kSnapshotVersion << ")");
+  u32 stored_crc = reader.Get<u32>();
+  u32 actual_crc = Crc32(bytes_.data() + 12, bytes_.size() - 12);
+  GCM_CHECK_MSG(stored_crc == actual_crc,
+                "snapshot checksum mismatch (stored " << stored_crc
+                                                      << ", computed "
+                                                      << actual_crc << ")");
+  spec_ = reader.GetString();
+  u64 count = reader.GetVarint();
+  // Each section needs at least 2 bytes (empty name + zero length), so an
+  // untrusted count beyond that is corrupt -- reject before reserving.
+  GCM_CHECK_MSG(count <= reader.Remaining() / 2,
+                "snapshot declares " << count << " sections in "
+                                     << reader.Remaining()
+                                     << " remaining bytes");
+  sections_.reserve(count);
+  for (u64 i = 0; i < count; ++i) {
+    Section section;
+    section.name = reader.GetString();
+    u64 length = reader.GetVarint();
+    GCM_CHECK_MSG(length <= reader.Remaining(),
+                  "snapshot section \"" << section.name << "\" truncated: "
+                                        << length << " bytes declared, "
+                                        << reader.Remaining() << " remain");
+    section.offset = reader.pos();
+    section.length = static_cast<std::size_t>(length);
+    reader.Skip(section.length);
+    sections_.push_back(std::move(section));
+  }
+  GCM_CHECK_MSG(reader.AtEnd(), "trailing bytes after the last snapshot "
+                                "section");
+}
+
+SnapshotReader SnapshotReader::FromFile(const std::string& path) {
+  return SnapshotReader(ReadFileBytes(path));
+}
+
+std::vector<std::string> SnapshotReader::SectionNames() const {
+  std::vector<std::string> names;
+  names.reserve(sections_.size());
+  for (const Section& section : sections_) names.push_back(section.name);
+  return names;
+}
+
+bool SnapshotReader::HasSection(const std::string& name) const {
+  for (const Section& section : sections_) {
+    if (section.name == name) return true;
+  }
+  return false;
+}
+
+const SnapshotReader::Section& SnapshotReader::Find(
+    const std::string& name) const {
+  for (const Section& section : sections_) {
+    if (section.name == name) return section;
+  }
+  throw Error("snapshot has no section \"" + name + "\"");
+}
+
+std::size_t SnapshotReader::SectionBytes(const std::string& name) const {
+  return Find(name).length;
+}
+
+ByteReader SnapshotReader::OpenSection(const std::string& name) const {
+  const Section& section = Find(name);
+  return ByteReader(bytes_.data() + section.offset, section.length);
+}
+
+}  // namespace gcm

@@ -1,0 +1,111 @@
+// Versioned binary snapshot container: the on-disk format for every
+// AnyMatrix backend.
+//
+// A snapshot is a self-describing file holding one serialized matrix:
+//
+//   offset  field
+//   ------  -----------------------------------------------------------
+//   0       u32   magic "GCSN"
+//   4       u32   format version (currently 1)
+//   8       u32   CRC-32 of every byte after this field
+//   12      spec string  (varint length + bytes, e.g. "gcm:re_ans?blocks=8")
+//           varint section count
+//           per section: name (varint length + bytes),
+//                        payload length (varint), payload bytes
+//
+// The spec string is the AnyMatrix FormatTag of the stored backend; the
+// engine parses it with MatrixSpec::Parse and dispatches deserialization
+// through the same registry that builds matrices from spec strings. Each
+// section carries its own length, so a reader can locate (and bounds-check)
+// any section without understanding the others, and corruption errors can
+// name the section they hit. The trailing state of the checksum guards the
+// whole file: readers verify it before looking at any section.
+//
+// Version policy: the version field counts breaking layout changes. A
+// reader accepts exactly the versions it knows (currently: 1) and reports
+// both the found and the supported version on a mismatch, so stale files
+// fail with an actionable message instead of a parse error deep inside a
+// payload.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "encoding/byte_stream.hpp"
+#include "util/common.hpp"
+
+namespace gcm {
+
+constexpr u32 kSnapshotMagic = 0x4e534347;  // "GCSN"
+constexpr u32 kSnapshotVersion = 1;
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) of `size` bytes; `seed` chains
+/// incremental updates (pass a previous result to continue).
+u32 Crc32(const void* data, std::size_t size, u32 seed = 0);
+
+/// Whole-file helpers shared by the container formats (throw gcm::Error on
+/// open/short-read/short-write failures, naming the path).
+std::vector<u8> ReadFileBytes(const std::string& path);
+void WriteFileBytes(const std::string& path, const std::vector<u8>& bytes);
+
+/// Assembles a snapshot: declare sections in order, fill each through the
+/// returned ByteWriter, then Finish() (or WriteFile) to emit the container.
+class SnapshotWriter {
+ public:
+  explicit SnapshotWriter(std::string spec);
+
+  /// Starts a new section; the returned writer stays valid until the next
+  /// BeginSection/Finish. Duplicate names are rejected (the reader resolves
+  /// sections by name).
+  ByteWriter& BeginSection(const std::string& name);
+
+  /// Emits the assembled container (header + sections + checksum).
+  std::vector<u8> Finish() const;
+  void WriteFile(const std::string& path) const;
+
+ private:
+  std::string spec_;
+  std::vector<std::pair<std::string, ByteWriter>> sections_;
+};
+
+/// Parses and validates a snapshot container: magic, version and checksum
+/// are checked up front, the section table is indexed, and OpenSection
+/// returns a reader bounded to exactly one section's payload.
+class SnapshotReader {
+ public:
+  /// Throws gcm::Error naming what is wrong (bad magic, unsupported
+  /// version, checksum mismatch, truncated section table).
+  explicit SnapshotReader(std::vector<u8> bytes);
+  static SnapshotReader FromFile(const std::string& path);
+
+  /// The spec string stored in the header (AnyMatrix FormatTag).
+  const std::string& spec() const { return spec_; }
+
+  std::size_t section_count() const { return sections_.size(); }
+  std::vector<std::string> SectionNames() const;
+  bool HasSection(const std::string& name) const;
+
+  /// Payload bytes of section `name` (throws gcm::Error naming the section
+  /// when absent).
+  std::size_t SectionBytes(const std::string& name) const;
+
+  /// Bounded reader over one section's payload; reads past the section end
+  /// throw the usual ByteReader truncation error.
+  ByteReader OpenSection(const std::string& name) const;
+
+ private:
+  struct Section {
+    std::string name;
+    std::size_t offset;
+    std::size_t length;
+  };
+  const Section& Find(const std::string& name) const;
+
+  std::vector<u8> bytes_;
+  std::string spec_;
+  std::vector<Section> sections_;
+};
+
+}  // namespace gcm

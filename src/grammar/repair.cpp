@@ -1,9 +1,20 @@
 #include "grammar/repair.hpp"
 
+#include <atomic>
 #include <queue>
 #include <unordered_map>
 
 namespace gcm {
+namespace {
+
+std::atomic<u64> repair_invocations{0};
+
+}  // namespace
+
+u64 RePairInvocationCount() {
+  return repair_invocations.load(std::memory_order_relaxed);
+}
+
 namespace {
 
 constexpr u32 kNoPos = 0xffffffffu;
@@ -223,6 +234,7 @@ class RePairEngine {
 
 RePairResult RePairCompress(const std::vector<u32>& input, u32 alphabet_size,
                             const RePairConfig& config) {
+  repair_invocations.fetch_add(1, std::memory_order_relaxed);
   RePairEngine engine(input, alphabet_size, config);
   return engine.Run();
 }

@@ -53,4 +53,10 @@ struct RePairResult {
 RePairResult RePairCompress(const std::vector<u32>& input, u32 alphabet_size,
                             const RePairConfig& config = {});
 
+/// Process-wide count of RePairCompress invocations. Construction is the
+/// dominant cost of a grammar-compressed matrix; snapshot loading must not
+/// re-run it, and this counter lets tests and the serving example prove
+/// that it did not.
+u64 RePairInvocationCount();
+
 }  // namespace gcm

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "encoding/byte_stream.hpp"
+
 namespace gcm {
 
 std::vector<double> BuildValueDictionary(const DenseMatrix& dense) {
@@ -178,6 +180,76 @@ DenseMatrix CsrIvMatrix::ToDense() const {
     }
   }
   return dense;
+}
+
+CsrIvMatrix CsrIvMatrix::FromParts(std::size_t rows, std::size_t cols,
+                                   std::vector<u32> value_ids,
+                                   std::vector<u32> idx,
+                                   std::vector<u32> first,
+                                   std::vector<double> dictionary) {
+  GCM_CHECK_MSG(first.size() == rows + 1, "CSR-IV offsets must have rows+1");
+  GCM_CHECK_MSG(first.front() == 0 && first.back() == value_ids.size(),
+                "CSR-IV offsets must span the value-id array");
+  GCM_CHECK_MSG(value_ids.size() == idx.size(),
+                "CSR-IV value-id/index length mismatch");
+  for (std::size_t r = 0; r < rows; ++r) {
+    GCM_CHECK_MSG(first[r] <= first[r + 1],
+                  "CSR-IV offsets must be monotone");
+  }
+  for (u32 c : idx) {
+    GCM_CHECK_MSG(c < cols, "CSR-IV column index out of range");
+  }
+  for (u32 id : value_ids) {
+    GCM_CHECK_MSG(id < dictionary.size(),
+                  "CSR-IV value id " << id << " outside dictionary of "
+                                     << dictionary.size());
+  }
+  CsrIvMatrix csr;
+  csr.rows_ = rows;
+  csr.cols_ = cols;
+  csr.value_ids_ = std::move(value_ids);
+  csr.idx_ = std::move(idx);
+  csr.first_ = std::move(first);
+  csr.dictionary_ = std::move(dictionary);
+  return csr;
+}
+
+void CsrMatrix::SerializeInto(ByteWriter* writer) const {
+  writer->PutVarint(rows_);
+  writer->PutVarint(cols_);
+  writer->PutVector(nz_);
+  writer->PutVector(idx_);
+  writer->PutVector(first_);
+}
+
+CsrMatrix CsrMatrix::DeserializeFrom(ByteReader* reader) {
+  std::size_t rows = reader->GetVarint();
+  std::size_t cols = reader->GetVarint();
+  std::vector<double> nz = reader->GetVector<double>();
+  std::vector<u32> idx = reader->GetVector<u32>();
+  std::vector<u32> first = reader->GetVector<u32>();
+  return FromParts(rows, cols, std::move(nz), std::move(idx),
+                   std::move(first));
+}
+
+void CsrIvMatrix::SerializeInto(ByteWriter* writer) const {
+  writer->PutVarint(rows_);
+  writer->PutVarint(cols_);
+  writer->PutVector(value_ids_);
+  writer->PutVector(idx_);
+  writer->PutVector(first_);
+  writer->PutVector(dictionary_);
+}
+
+CsrIvMatrix CsrIvMatrix::DeserializeFrom(ByteReader* reader) {
+  std::size_t rows = reader->GetVarint();
+  std::size_t cols = reader->GetVarint();
+  std::vector<u32> value_ids = reader->GetVector<u32>();
+  std::vector<u32> idx = reader->GetVector<u32>();
+  std::vector<u32> first = reader->GetVector<u32>();
+  std::vector<double> dictionary = reader->GetVector<double>();
+  return FromParts(rows, cols, std::move(value_ids), std::move(idx),
+                   std::move(first), std::move(dictionary));
 }
 
 }  // namespace gcm

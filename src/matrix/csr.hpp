@@ -12,6 +12,9 @@
 
 namespace gcm {
 
+class ByteReader;
+class ByteWriter;
+
 /// CSR: nz (values row-by-row), idx (column of each value), first (prefix
 /// counts per row; length rows+1 here, the usual offset convention).
 class CsrMatrix {
@@ -49,6 +52,11 @@ class CsrMatrix {
   const std::vector<u32>& idx() const { return idx_; }
   const std::vector<u32>& first() const { return first_; }
 
+  /// Snapshot payload: dims + the three CSR arrays. DeserializeFrom routes
+  /// through FromParts, so a corrupt payload fails its structural checks.
+  void SerializeInto(ByteWriter* writer) const;
+  static CsrMatrix DeserializeFrom(ByteReader* reader);
+
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
@@ -62,6 +70,13 @@ class CsrMatrix {
 class CsrIvMatrix {
  public:
   static CsrIvMatrix FromDense(const DenseMatrix& dense);
+
+  /// Assembles from prebuilt arrays (deserialization); validates the same
+  /// offset/index invariants as CsrMatrix::FromParts plus value-id range.
+  static CsrIvMatrix FromParts(std::size_t rows, std::size_t cols,
+                               std::vector<u32> value_ids,
+                               std::vector<u32> idx, std::vector<u32> first,
+                               std::vector<double> dictionary);
 
   std::size_t rows() const { return rows_; }
   std::size_t cols() const { return cols_; }
@@ -87,6 +102,14 @@ class CsrIvMatrix {
   }
 
   const std::vector<double>& dictionary() const { return dictionary_; }
+  const std::vector<u32>& value_ids() const { return value_ids_; }
+  const std::vector<u32>& idx() const { return idx_; }
+  const std::vector<u32>& first() const { return first_; }
+
+  /// Snapshot payload: dims + the four CSR-IV arrays, restored via
+  /// FromParts.
+  void SerializeInto(ByteWriter* writer) const;
+  static CsrIvMatrix DeserializeFrom(ByteReader* reader);
 
  private:
   std::size_t rows_ = 0;

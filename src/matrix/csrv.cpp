@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "encoding/byte_stream.hpp"
 #include "matrix/csr.hpp"
 
 namespace gcm {
@@ -180,6 +181,21 @@ std::vector<CsrvMatrix> CsrvMatrix::SplitRowBlocks(std::size_t blocks) const {
     rows_in_block = 0;
   }
   return out;
+}
+
+void CsrvMatrix::SerializeInto(ByteWriter* writer) const {
+  writer->PutVarint(rows_);
+  writer->PutVarint(cols_);
+  writer->PutVector(dictionary_);
+  writer->PutVector(sequence_);
+}
+
+CsrvMatrix CsrvMatrix::DeserializeFrom(ByteReader* reader) {
+  std::size_t rows = reader->GetVarint();
+  std::size_t cols = reader->GetVarint();
+  std::vector<double> dictionary = reader->GetVector<double>();
+  std::vector<u32> sequence = reader->GetVector<u32>();
+  return FromParts(rows, cols, std::move(dictionary), std::move(sequence));
 }
 
 }  // namespace gcm

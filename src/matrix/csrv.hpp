@@ -27,6 +27,9 @@
 
 namespace gcm {
 
+class ByteReader;
+class ByteWriter;
+
 /// Sentinel encoding of `$` in the u32 alphabet.
 constexpr u32 kCsrvSentinel = 0;
 
@@ -108,6 +111,11 @@ class CsrvMatrix {
   /// Validates structural invariants (sentinel count == rows, symbols in
   /// range); throws gcm::Error on violation.
   void Validate() const;
+
+  /// Snapshot payload: dims + dictionary + sequence, restored through
+  /// FromParts (which runs Validate on the decoded arrays).
+  void SerializeInto(ByteWriter* writer) const;
+  static CsrvMatrix DeserializeFrom(ByteReader* reader);
 
  private:
   std::size_t rows_ = 0;

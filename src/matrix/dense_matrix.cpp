@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "encoding/byte_stream.hpp"
+
 namespace gcm {
 
 DenseMatrix::DenseMatrix(std::size_t rows, std::size_t cols,
@@ -11,6 +13,19 @@ DenseMatrix::DenseMatrix(std::size_t rows, std::size_t cols,
   GCM_CHECK_MSG(data_.size() == rows * cols,
                 "dense payload has " << data_.size() << " entries, expected "
                                      << rows * cols);
+}
+
+void DenseMatrix::SerializeInto(ByteWriter* writer) const {
+  writer->PutVarint(rows_);
+  writer->PutVarint(cols_);
+  writer->PutVector(data_);
+}
+
+DenseMatrix DenseMatrix::DeserializeFrom(ByteReader* reader) {
+  std::size_t rows = reader->GetVarint();
+  std::size_t cols = reader->GetVarint();
+  // The DenseMatrix payload ctor re-validates size == rows*cols.
+  return DenseMatrix(rows, cols, reader->GetVector<double>());
 }
 
 std::size_t DenseMatrix::CountNonZeros() const {

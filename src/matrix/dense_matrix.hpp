@@ -15,6 +15,9 @@
 
 namespace gcm {
 
+class ByteReader;
+class ByteWriter;
+
 class DenseMatrix {
  public:
   DenseMatrix() = default;
@@ -77,6 +80,11 @@ class DenseMatrix {
   static DenseMatrix Random(std::size_t rows, std::size_t cols,
                             double density, std::size_t distinct_values,
                             Rng* rng);
+
+  /// Snapshot payload: dims + row-major doubles. DeserializeFrom validates
+  /// the payload length against the dimensions (gcm::Error on mismatch).
+  void SerializeInto(ByteWriter* writer) const;
+  static DenseMatrix DeserializeFrom(ByteReader* reader);
 
   bool operator==(const DenseMatrix& other) const = default;
 

@@ -1,38 +1,69 @@
 #include "matrix/matrix_io.hpp"
 
+#include <cstring>
 #include <fstream>
+#include <iomanip>
+#include <limits>
 #include <sstream>
 
 #include "encoding/byte_stream.hpp"
+#include "encoding/snapshot.hpp"
 
 namespace gcm {
 namespace {
 
 constexpr u32 kDenseMagic = 0x444d4347;  // "GCMD"
 constexpr u32 kCsrvMagic = 0x534d4347;   // "GCMS"
+// "GCM1": the ad-hoc compressed format old mm_repair_cli builds wrote
+// before snapshots existed. Recognized only to reject it with a real
+// message instead of a dense-text parse error on binary garbage.
+constexpr u32 kLegacyGcmMagic = 0x314d4347;
 constexpr u32 kFormatVersion = 1;
 
-std::vector<u8> ReadFile(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  GCM_CHECK_MSG(in.good(), "cannot open file: " << path);
-  in.seekg(0, std::ios::end);
-  std::streamoff size = in.tellg();
-  in.seekg(0, std::ios::beg);
-  std::vector<u8> data(static_cast<std::size_t>(size));
-  in.read(reinterpret_cast<char*>(data.data()), size);
-  GCM_CHECK_MSG(in.good(), "short read on file: " << path);
-  return data;
-}
-
-void WriteFile(const std::string& path, const std::vector<u8>& data) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  GCM_CHECK_MSG(out.good(), "cannot create file: " << path);
-  out.write(reinterpret_cast<const char*>(data.data()),
-            static_cast<std::streamsize>(data.size()));
-  GCM_CHECK_MSG(out.good(), "short write on file: " << path);
-}
+constexpr const char* kMatrixMarketBanner = "%%MatrixMarket";
 
 }  // namespace
+
+const char* MatrixFileKindName(MatrixFileKind kind) {
+  switch (kind) {
+    case MatrixFileKind::kSnapshot:
+      return "snapshot";
+    case MatrixFileKind::kDenseBinary:
+      return "dense-binary";
+    case MatrixFileKind::kCsrvBinary:
+      return "csrv-binary";
+    case MatrixFileKind::kMatrixMarket:
+      return "matrix-market";
+    case MatrixFileKind::kDenseText:
+      return "dense-text";
+  }
+  return "?";
+}
+
+MatrixFileKind SniffMatrixFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  GCM_CHECK_MSG(in.good(), "cannot open file: " << path);
+  char head[16] = {};
+  in.read(head, sizeof(head));
+  std::size_t got = static_cast<std::size_t>(in.gcount());
+  if (got >= sizeof(u32)) {
+    u32 magic;
+    std::memcpy(&magic, head, sizeof(magic));
+    if (magic == kSnapshotMagic) return MatrixFileKind::kSnapshot;
+    if (magic == kDenseMagic) return MatrixFileKind::kDenseBinary;
+    if (magic == kCsrvMagic) return MatrixFileKind::kCsrvBinary;
+    GCM_CHECK_MSG(magic != kLegacyGcmMagic,
+                  path << " is a legacy GCM1 compressed file; re-compress "
+                          "its source with the current mm_repair_cli to "
+                          "get a snapshot");
+  }
+  if (got >= std::strlen(kMatrixMarketBanner) &&
+      std::memcmp(head, kMatrixMarketBanner,
+                  std::strlen(kMatrixMarketBanner)) == 0) {
+    return MatrixFileKind::kMatrixMarket;
+  }
+  return MatrixFileKind::kDenseText;
+}
 
 void SaveDense(const DenseMatrix& matrix, const std::string& path) {
   ByteWriter writer;
@@ -41,11 +72,11 @@ void SaveDense(const DenseMatrix& matrix, const std::string& path) {
   writer.PutVarint(matrix.rows());
   writer.PutVarint(matrix.cols());
   writer.PutVector(matrix.data());
-  WriteFile(path, writer.buffer());
+  WriteFileBytes(path, writer.buffer());
 }
 
 DenseMatrix LoadDense(const std::string& path) {
-  std::vector<u8> data = ReadFile(path);
+  std::vector<u8> data = ReadFileBytes(path);
   ByteReader reader(data);
   GCM_CHECK_MSG(reader.Get<u32>() == kDenseMagic,
                 "not a dense matrix file: " << path);
@@ -66,11 +97,11 @@ void SaveCsrv(const CsrvMatrix& matrix, const std::string& path) {
   writer.PutVarint(matrix.cols());
   writer.PutVector(matrix.dictionary());
   writer.PutVector(matrix.sequence());
-  WriteFile(path, writer.buffer());
+  WriteFileBytes(path, writer.buffer());
 }
 
 CsrvMatrix LoadCsrv(const std::string& path) {
-  std::vector<u8> data = ReadFile(path);
+  std::vector<u8> data = ReadFileBytes(path);
   ByteReader reader(data);
   GCM_CHECK_MSG(reader.Get<u32>() == kCsrvMagic,
                 "not a CSRV matrix file: " << path);
@@ -83,6 +114,81 @@ CsrvMatrix LoadCsrv(const std::string& path) {
   GCM_CHECK_MSG(reader.AtEnd(), "trailing bytes in " << path);
   return CsrvMatrix::FromParts(rows, cols, std::move(dictionary),
                                std::move(sequence));
+}
+
+MatrixMarketData LoadMatrixMarket(const std::string& path) {
+  std::ifstream in(path);
+  GCM_CHECK_MSG(in.good(), "cannot open file: " << path);
+  std::string banner;
+  GCM_CHECK_MSG(static_cast<bool>(std::getline(in, banner)),
+                "empty MatrixMarket file: " << path);
+  std::istringstream header(banner);
+  std::string tag, object, format, field, symmetry;
+  header >> tag >> object >> format >> field >> symmetry;
+  GCM_CHECK_MSG(tag == kMatrixMarketBanner,
+                "not a MatrixMarket file: " << path);
+  GCM_CHECK_MSG(object == "matrix" && format == "coordinate",
+                path << ": only \"matrix coordinate\" MatrixMarket files are "
+                        "supported, got \""
+                     << object << ' ' << format << '"');
+  GCM_CHECK_MSG(field == "real" || field == "integer" || field == "double",
+                path << ": unsupported MatrixMarket field \"" << field
+                     << "\" (need real/integer)");
+  GCM_CHECK_MSG(symmetry == "general",
+                path << ": only \"general\" symmetry is supported, got \""
+                     << symmetry << '"');
+
+  std::string line;
+  // Comment lines ('%') may follow the banner; the first non-comment line
+  // is the size header.
+  std::size_t rows = 0, cols = 0, nonzeros = 0;
+  for (;;) {
+    GCM_CHECK_MSG(static_cast<bool>(std::getline(in, line)),
+                  path << ": missing MatrixMarket size header");
+    if (line.empty() || line[0] == '%') continue;
+    std::istringstream sizes(line);
+    GCM_CHECK_MSG(static_cast<bool>(sizes >> rows >> cols >> nonzeros),
+                  path << ": malformed MatrixMarket size header \"" << line
+                       << '"');
+    break;
+  }
+
+  MatrixMarketData data;
+  data.rows = rows;
+  data.cols = cols;
+  data.entries.reserve(nonzeros);
+  for (std::size_t i = 0; i < nonzeros; ++i) {
+    std::size_t r = 0, c = 0;
+    double value = 0.0;
+    GCM_CHECK_MSG(static_cast<bool>(in >> r >> c >> value),
+                  path << ": truncated MatrixMarket body at entry " << i
+                       << " of " << nonzeros);
+    GCM_CHECK_MSG(r >= 1 && r <= rows && c >= 1 && c <= cols,
+                  path << ": MatrixMarket entry " << i << " at (" << r << ", "
+                       << c << ") outside " << rows << "x" << cols);
+    data.entries.push_back({static_cast<u32>(r - 1), static_cast<u32>(c - 1),
+                            value});
+  }
+  return data;
+}
+
+void SaveMatrixMarket(const DenseMatrix& matrix, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  GCM_CHECK_MSG(out.good(), "cannot create file: " << path);
+  // max_digits10 keeps the text round-trip value-preserving (the default
+  // 6 significant digits would silently perturb continuous-valued data).
+  out << std::setprecision(std::numeric_limits<double>::max_digits10);
+  out << kMatrixMarketBanner << " matrix coordinate real general\n";
+  out << matrix.rows() << ' ' << matrix.cols() << ' '
+      << matrix.CountNonZeros() << '\n';
+  for (std::size_t r = 0; r < matrix.rows(); ++r) {
+    for (std::size_t c = 0; c < matrix.cols(); ++c) {
+      double v = matrix.At(r, c);
+      if (v == 0.0) continue;
+      out << (r + 1) << ' ' << (c + 1) << ' ' << v << '\n';
+    }
+  }
+  GCM_CHECK_MSG(out.good(), "short write on file: " << path);
 }
 
 DenseMatrix LoadDenseText(const std::string& path) {
@@ -106,6 +212,7 @@ DenseMatrix LoadDenseText(const std::string& path) {
 void SaveDenseText(const DenseMatrix& matrix, const std::string& path) {
   std::ofstream out(path, std::ios::trunc);
   GCM_CHECK_MSG(out.good(), "cannot create file: " << path);
+  out << std::setprecision(std::numeric_limits<double>::max_digits10);
   out << matrix.rows() << " " << matrix.cols() << "\n";
   for (std::size_t r = 0; r < matrix.rows(); ++r) {
     for (std::size_t c = 0; c < matrix.cols(); ++c) {

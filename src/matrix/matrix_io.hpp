@@ -1,17 +1,41 @@
-// Binary (and simple text) persistence for matrices.
+// Container-level matrix file formats and format sniffing.
 //
-// The paper's tools read matrices from disk and store the compressed
-// representation; these functions provide the equivalent container formats
-// with magic numbers and bounds-checked parsing so corrupt or truncated
-// files fail loudly (exercised by the failure-injection tests).
+// This is the format-neutral floor of the io stack: each reader/writer
+// handles exactly one container (binary dense, binary CSRV, MatrixMarket
+// coordinate text, whitespace dense text), with magic numbers and
+// bounds-checked parsing so corrupt or truncated files fail loudly
+// (exercised by the failure-injection tests). SniffMatrixFile tells the
+// containers apart by magic / leading bytes; the engine-level front door
+// (core/matrix_file.hpp LoadAuto) builds on it to open *any* supported
+// file -- including AnyMatrix snapshots -- without the caller hard-coding
+// a reader.
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "matrix/csrv.hpp"
 #include "matrix/dense_matrix.hpp"
+#include "matrix/sparse_builder.hpp"
 
 namespace gcm {
+
+/// Every container the io stack can identify. Snapshots are parsed by the
+/// engine (core/any_matrix.hpp); the rest by the readers below.
+enum class MatrixFileKind {
+  kSnapshot,      ///< "GCSN" AnyMatrix snapshot (encoding/snapshot.hpp)
+  kDenseBinary,   ///< "GCMD" dense container
+  kCsrvBinary,    ///< "GCMS" CSRV container
+  kMatrixMarket,  ///< "%%MatrixMarket" coordinate text
+  kDenseText,     ///< "rows cols" header + whitespace values
+};
+
+const char* MatrixFileKindName(MatrixFileKind kind);
+
+/// Identifies a file by its magic number / leading bytes. Unknown binary
+/// content falls through to kDenseText (whose parser then reports the
+/// offending token). Throws gcm::Error when the file cannot be opened.
+MatrixFileKind SniffMatrixFile(const std::string& path);
 
 /// Writes a dense matrix ("GCMD" magic, version, dims, row-major doubles).
 void SaveDense(const DenseMatrix& matrix, const std::string& path);
@@ -20,6 +44,17 @@ DenseMatrix LoadDense(const std::string& path);
 /// Writes a CSRV matrix ("GCMS" magic, dims, dictionary, sequence).
 void SaveCsrv(const CsrvMatrix& matrix, const std::string& path);
 CsrvMatrix LoadCsrv(const std::string& path);
+
+/// MatrixMarket coordinate format ("%%MatrixMarket matrix coordinate real
+/// general"), the interchange format of the paper's evaluation datasets.
+/// Indices are 1-based on disk, 0-based in the returned triplets.
+struct MatrixMarketData {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::vector<Triplet> entries;
+};
+MatrixMarketData LoadMatrixMarket(const std::string& path);
+void SaveMatrixMarket(const DenseMatrix& matrix, const std::string& path);
 
 /// Text format: first line "rows cols", then rows lines of cols values.
 /// Intended for the examples and small hand-written fixtures.

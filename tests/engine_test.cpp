@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -18,6 +19,8 @@
 #include "core/format_advisor.hpp"
 #include "core/gc_matrix.hpp"
 #include "core/power_iteration.hpp"
+#include "encoding/snapshot.hpp"
+#include "grammar/repair.hpp"
 #include "matrix/csr.hpp"
 #include "matrix/csrv.hpp"
 #include "matrix/sparse_builder.hpp"
@@ -137,6 +140,46 @@ TEST_P(EngineConformanceTest, PowerIterationMatchesDense) {
       RunPowerIteration(AnyMatrix::Ref(dense), 10);
   PowerIterationResult result = RunPowerIteration(m, 10);
   EXPECT_LT(MaxAbsDiff(reference.x, result.x), 1e-6);
+}
+
+TEST_P(EngineConformanceTest, SnapshotRoundTripMatchesDenseOracle) {
+  DenseMatrix dense = TestMatrix();
+  AnyMatrix original = AnyMatrix::Build(dense, GetParam());
+
+  u64 repair_before = RePairInvocationCount();
+  AnyMatrix restored =
+      AnyMatrix::LoadSnapshotBytes(original.SaveSnapshotBytes());
+  // Loading adopts the stored representation as-is; the construction
+  // pipeline (RePair in particular) must never re-run.
+  EXPECT_EQ(RePairInvocationCount(), repair_before) << GetParam();
+
+  EXPECT_EQ(restored.rows(), original.rows());
+  EXPECT_EQ(restored.cols(), original.cols());
+  EXPECT_EQ(restored.FormatTag(), original.FormatTag());
+  EXPECT_EQ(restored.CompressedBytes(), original.CompressedBytes());
+  EXPECT_EQ(DenseMatrix::MaxAbsDiff(restored.ToDense(), dense), 0.0);
+
+  Rng rng(80);
+  std::vector<double> x = RandomVector(dense.cols(), &rng);
+  std::vector<double> y = RandomVector(dense.rows(), &rng);
+  EXPECT_LT(MaxAbsDiff(restored.MultiplyRight(x), dense.MultiplyRight(x)),
+            1e-9);
+  EXPECT_LT(MaxAbsDiff(restored.MultiplyLeft(y), dense.MultiplyLeft(y)),
+            1e-9);
+}
+
+TEST_P(EngineConformanceTest, SnapshotFileRoundTrip) {
+  DenseMatrix dense = TestMatrix();
+  AnyMatrix original = AnyMatrix::Build(dense, GetParam());
+  std::string path = ::testing::TempDir() + "engine_" +
+                     SpecTestName(::testing::TestParamInfo<std::string>(
+                         GetParam(), 0)) +
+                     ".gcsnap";
+  original.Save(path);
+  AnyMatrix restored = AnyMatrix::Load(path);
+  EXPECT_EQ(restored.FormatTag(), original.FormatTag());
+  EXPECT_EQ(DenseMatrix::MaxAbsDiff(restored.ToDense(), dense), 0.0);
+  std::remove(path.c_str());
 }
 
 INSTANTIATE_TEST_SUITE_P(AllSpecs, EngineConformanceTest,
@@ -344,6 +387,62 @@ TEST_P(MultiPoolTest, LeftMultiMatchesSequential) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllFormats, MultiPoolTest,
+                         ::testing::Values(GcFormat::kCsrv, GcFormat::kRe32,
+                                           GcFormat::kReIv,
+                                           GcFormat::kReAns),
+                         [](const auto& info) {
+                           return std::string(FormatName(info.param));
+                         });
+
+// --------------------------------------------------------------------------
+// Pool-parallel single-vector kernels (chunked scan of C within one block)
+// --------------------------------------------------------------------------
+
+class SingleVectorPoolTest : public ::testing::TestWithParam<GcFormat> {};
+
+TEST_P(SingleVectorPoolTest, PooledSingleVectorKernelsMatchSequential) {
+  // Large enough that |C| of the uncompressed formats clears the parallel
+  // scan grain (~13k symbols for csrv), so the chunked path really runs;
+  // formats whose C ends up shorter (or re_ans, which cannot be split)
+  // take the sequential fallback and must agree identically.
+  Rng rng(93);
+  DenseMatrix dense = DenseMatrix::Random(800, 30, 0.5, 5, &rng);
+  GcMatrix gc = GcMatrix::FromDense(dense, {GetParam(), 12, 0});
+  ThreadPool pool(4);
+
+  std::vector<double> x(dense.cols());
+  std::vector<double> y(dense.rows());
+  for (auto& v : x) v = rng.NextDouble() * 2.0 - 1.0;
+  for (auto& v : y) v = rng.NextDouble() * 2.0 - 1.0;
+
+  std::vector<double> right_seq(dense.rows()), right_pool(dense.rows());
+  gc.MultiplyRightInto(x, right_seq);
+  gc.MultiplyRightInto(x, right_pool, &pool);
+  EXPECT_LT(MaxAbsDiff(right_seq, right_pool), 1e-9);
+  EXPECT_LT(MaxAbsDiff(right_seq, dense.MultiplyRight(x)), 1e-9);
+
+  std::vector<double> left_seq(dense.cols()), left_pool(dense.cols());
+  gc.MultiplyLeftInto(y, left_seq);
+  gc.MultiplyLeftInto(y, left_pool, &pool);
+  EXPECT_LT(MaxAbsDiff(left_seq, left_pool), 1e-9);
+  EXPECT_LT(MaxAbsDiff(left_seq, dense.MultiplyLeft(y)), 1e-9);
+}
+
+TEST_P(SingleVectorPoolTest, EnginePoolContextReachesSingleBlockKernels) {
+  Rng rng(94);
+  DenseMatrix dense = DenseMatrix::Random(600, 25, 0.6, 4, &rng);
+  AnyMatrix m = AnyMatrix::Build(
+      dense, std::string("gcm:") + FormatName(GetParam()));
+  ThreadPool pool(3);
+  std::vector<double> x(dense.cols(), 0.5);
+  EXPECT_LT(MaxAbsDiff(m.MultiplyRight(x, {&pool}), dense.MultiplyRight(x)),
+            1e-9);
+  std::vector<double> y(dense.rows(), -0.25);
+  EXPECT_LT(MaxAbsDiff(m.MultiplyLeft(y, {&pool}), dense.MultiplyLeft(y)),
+            1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFormats, SingleVectorPoolTest,
                          ::testing::Values(GcFormat::kCsrv, GcFormat::kRe32,
                                            GcFormat::kReIv,
                                            GcFormat::kReAns),
