@@ -23,6 +23,7 @@
 #include "matrix/datasets.hpp"
 #include "reorder/column_similarity.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace gcm {
 namespace {
@@ -188,6 +189,35 @@ void BM_AnyMatrixMvmRight(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AnyMatrixMvmRight)->Unit(benchmark::kMicrosecond);
+
+// Scatter/gather overhead of the serving layer: the same matrix as
+// BM_AnyMatrixMvmRight but split into row-range shards, sequential and
+// shard-parallel. The sequential delta against the unsharded engine call
+// is the cost of the scatter bookkeeping; the pooled run shows what the
+// shards buy back.
+void ShardedMvmRight(benchmark::State& state, bool pooled) {
+  AnyMatrix sharded = AnyMatrix::Build(
+      CensusMatrix(), "sharded?inner=gcm:re_32&shards=8");
+  ThreadPool pool(4);
+  MulContext ctx{pooled ? &pool : nullptr};
+  std::vector<double> x = RandomVector(sharded.cols(), 9);
+  std::vector<double> y(sharded.rows());
+  for (auto _ : state) {
+    sharded.MultiplyRightInto(x, y, ctx);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * sharded.rows());
+}
+
+void BM_ShardedMvmRightSequential(benchmark::State& state) {
+  ShardedMvmRight(state, false);
+}
+BENCHMARK(BM_ShardedMvmRightSequential)->Unit(benchmark::kMicrosecond);
+
+void BM_ShardedMvmRightPooled(benchmark::State& state) {
+  ShardedMvmRight(state, true);
+}
+BENCHMARK(BM_ShardedMvmRightPooled)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 }  // namespace gcm

@@ -12,7 +12,10 @@
 // MatrixMarket file, or plain dense text -- no flags needed. `compress`
 // writes a versioned snapshot (the deployment artifact: reloading it never
 // re-runs RePair). `--save-snapshot PATH` on multiply/info re-saves
-// whatever was loaded as a snapshot, i.e. converts any readable input.
+// whatever was loaded as a snapshot, i.e. converts any readable input;
+// with `--shards N` (N > 1) PATH becomes a sharded store *directory*
+// (MatrixStore::Partition writes per-shard snapshots plus a manifest), so
+// this CLI is the producer-side tool of the serving API.
 
 #include <cstdio>
 #include <cstring>
@@ -21,6 +24,8 @@
 #include "core/any_matrix.hpp"
 #include "core/matrix_file.hpp"
 #include "core/power_iteration.hpp"
+#include "serving/matrix_store.hpp"
+#include "serving/sharded_matrix.hpp"
 #include "util/cli.hpp"
 #include "util/format.hpp"
 
@@ -33,16 +38,44 @@ int Usage() {
       "usage: mm_repair_cli <compress|decompress|multiply|info> <input> "
       "[output]\n"
       "       [--spec SPEC] [--format csrv|re_32|re_iv|re_ans] [--iters N]\n"
-      "       [--save-snapshot PATH]\n"
-      "inputs may be snapshots, binary dense/CSRV, MatrixMarket or dense "
-      "text\n",
+      "       [--save-snapshot PATH] [--shards N]\n"
+      "inputs may be snapshots, binary dense/CSRV, MatrixMarket, dense "
+      "text,\n"
+      "or a sharded store manifest; --save-snapshot with --shards > 1 "
+      "writes a\n"
+      "sharded store directory instead of a single snapshot file\n",
       stderr);
   return 2;
+}
+
+/// The inner spec used when re-sharding the loaded matrix: an explicit
+/// --spec wins; otherwise the matrix's own tag (unwrapping an existing
+/// sharded tag so stores can be re-partitioned with a different layout).
+std::string ReshardInnerSpec(const AnyMatrix& matrix, const CliParser& cli) {
+  std::string spec = cli.GetString("spec");
+  if (!spec.empty()) return spec;
+  spec = matrix.FormatTag();
+  MatrixSpec parsed = MatrixSpec::Parse(spec);
+  if (parsed.family == "sharded") {
+    return InnerSpecFromSharded(parsed).ToString();
+  }
+  return spec;
 }
 
 void MaybeSaveSnapshot(const AnyMatrix& matrix, const CliParser& cli) {
   std::string path = cli.GetString("save-snapshot");
   if (path.empty()) return;
+  std::size_t shards = static_cast<std::size_t>(cli.GetInt("shards"));
+  if (shards > 1) {
+    std::string inner = ReshardInnerSpec(matrix, cli);
+    ShardManifest manifest = MatrixStore::Partition(
+        matrix.ToDense(), inner, {.shards = shards}, path);
+    std::printf("saved %zu-shard store (%s inner, %s) to %s/\n",
+                manifest.shards.size(), inner.c_str(),
+                FormatBytes(manifest.TotalCompressedBytes()).c_str(),
+                path.c_str());
+    return;
+  }
   matrix.Save(path);
   std::printf("saved %s snapshot (%s) to %s\n", matrix.FormatTag().c_str(),
               FormatBytes(matrix.CompressedBytes()).c_str(), path.c_str());
@@ -57,6 +90,9 @@ int main(int argc, char** argv) {
   cli.AddFlag("iters", "100", "iterations for `multiply`");
   cli.AddFlag("save-snapshot", "",
               "re-save the loaded matrix as a snapshot at this path");
+  cli.AddFlag("shards", "1",
+              "with --save-snapshot: partition into this many shards "
+              "(PATH becomes a store directory)");
   if (!cli.Parse(argc, argv)) return 0;
   if (cli.positional().size() < 2) return Usage();
   const std::string& command = cli.positional()[0];

@@ -17,6 +17,7 @@
 #include "matrix/csrv.hpp"
 #include "matrix/dense_matrix.hpp"
 #include "matrix/sparse_builder.hpp"
+#include "serving/sharded_matrix.hpp"
 #include "util/thread_pool.hpp"
 
 namespace gcm {
@@ -163,8 +164,11 @@ struct SpecFamily {
   AnyMatrix (*build)(const DenseMatrix&, const MatrixSpec&);
   /// Restores a matrix of this family from a snapshot; nullptr for
   /// families that never appear in snapshot headers ("auto" resolves to a
-  /// concrete backend before Save runs).
-  AnyMatrix (*load)(const SnapshotReader&, const MatrixSpec&);
+  /// concrete backend before Save runs). `origin_path` is the file the
+  /// snapshot was read from ("" when loading from bytes); the sharded
+  /// family resolves sibling shard files relative to it.
+  AnyMatrix (*load)(const SnapshotReader&, const MatrixSpec&,
+                    const std::string& origin_path);
 };
 
 /// Parses one backend payload section; every failure inside is rethrown
@@ -238,30 +242,36 @@ AnyMatrix BuildAutoSpec(const DenseMatrix& dense, const MatrixSpec& spec) {
   return AdviseFormat(dense, constraints, nullptr);
 }
 
-AnyMatrix LoadDenseSnapshot(const SnapshotReader& in, const MatrixSpec&) {
+AnyMatrix LoadDenseSnapshot(const SnapshotReader& in, const MatrixSpec&,
+                            const std::string&) {
   return LoadPayloadSection<DenseMatrix>(in);
 }
 
-AnyMatrix LoadCsrSnapshot(const SnapshotReader& in, const MatrixSpec&) {
+AnyMatrix LoadCsrSnapshot(const SnapshotReader& in, const MatrixSpec&,
+                          const std::string&) {
   return LoadPayloadSection<CsrMatrix>(in);
 }
 
-AnyMatrix LoadCsrIvSnapshot(const SnapshotReader& in, const MatrixSpec&) {
+AnyMatrix LoadCsrIvSnapshot(const SnapshotReader& in, const MatrixSpec&,
+                            const std::string&) {
   return LoadPayloadSection<CsrIvMatrix>(in);
 }
 
-AnyMatrix LoadCsrvSnapshot(const SnapshotReader& in, const MatrixSpec&) {
+AnyMatrix LoadCsrvSnapshot(const SnapshotReader& in, const MatrixSpec&,
+                           const std::string&) {
   return LoadPayloadSection<CsrvMatrix>(in);
 }
 
-AnyMatrix LoadGcmSnapshot(const SnapshotReader& in, const MatrixSpec&) {
+AnyMatrix LoadGcmSnapshot(const SnapshotReader& in, const MatrixSpec&,
+                          const std::string&) {
   if (in.HasSection(PayloadSectionName<BlockedGcMatrix>())) {
     return LoadPayloadSection<BlockedGcMatrix>(in);
   }
   return LoadPayloadSection<GcMatrix>(in);
 }
 
-AnyMatrix LoadClaSnapshot(const SnapshotReader& in, const MatrixSpec&) {
+AnyMatrix LoadClaSnapshot(const SnapshotReader& in, const MatrixSpec&,
+                          const std::string&) {
   return LoadPayloadSection<ClaMatrix>(in);
 }
 
@@ -281,6 +291,11 @@ const std::vector<SpecFamily>& Registry() {
        {"co_code", "sample_rows", "max_group_size", "max_candidates"},
        &BuildClaSpec,
        &LoadClaSnapshot},
+      {"sharded",
+       {},
+       {"inner", "rows_per_shard", "shards", "target_bytes"},
+       &BuildShardedFromSpec,
+       &LoadShardedFromSnapshot},
       {"auto", {}, {"budget", "blocks", "sample_rows"}, &BuildAutoSpec,
        nullptr},
   };
@@ -526,6 +541,11 @@ AnyMatrix AnyMatrix::Build(std::size_t rows, std::size_t cols,
     return Wrap(GcMatrix::FromTriplets(rows, cols, std::move(entries),
                                        options));
   }
+  if (spec.family == "sharded") {
+    // Buckets triplets per row range; each bucket reuses the inner spec's
+    // own (possibly dense-free) ingestion pipeline.
+    return BuildShardedFromTriplets(rows, cols, std::move(entries), spec);
+  }
   // Remaining backends compress from a dense staging copy (CsrFromTriplets
   // also applies the triplet validation rules first).
   return Build(CsrFromTriplets(rows, cols, std::move(entries)).ToDense(),
@@ -590,7 +610,13 @@ void AnyMatrix::Save(const std::string& path) const {
   WriteFileBytes(path, SaveSnapshotBytes());
 }
 
-AnyMatrix AnyMatrix::LoadSnapshotBytes(std::vector<u8> bytes) {
+namespace {
+
+/// Shared load path; `origin_path` is "" when the snapshot arrived as a
+/// byte buffer (the sharded family needs the path to find sibling shard
+/// files).
+AnyMatrix LoadSnapshotImpl(std::vector<u8> bytes,
+                           const std::string& origin_path) {
   SnapshotReader in(std::move(bytes));
   MatrixSpec spec = MatrixSpec::Parse(in.spec());
   const SpecFamily& family = ValidateSpec(spec);
@@ -613,7 +639,7 @@ AnyMatrix AnyMatrix::LoadSnapshotBytes(std::vector<u8> bytes) {
                 "\" is corrupt: " + e.what());
   }
 
-  AnyMatrix loaded = family.load(in, spec);
+  AnyMatrix loaded = family.load(in, spec, origin_path);
   GCM_CHECK_MSG(loaded.rows() == meta_rows && loaded.cols() == meta_cols,
                 "snapshot payload is a " << loaded.rows() << "x"
                                          << loaded.cols()
@@ -623,9 +649,15 @@ AnyMatrix AnyMatrix::LoadSnapshotBytes(std::vector<u8> bytes) {
   return loaded;
 }
 
+}  // namespace
+
+AnyMatrix AnyMatrix::LoadSnapshotBytes(std::vector<u8> bytes) {
+  return LoadSnapshotImpl(std::move(bytes), "");
+}
+
 AnyMatrix AnyMatrix::Load(const std::string& path) {
   try {
-    return LoadSnapshotBytes(ReadFileBytes(path));
+    return LoadSnapshotImpl(ReadFileBytes(path), path);
   } catch (const Error& e) {
     throw Error(path + ": " + e.what());
   } catch (const std::invalid_argument& e) {

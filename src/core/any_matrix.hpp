@@ -31,6 +31,9 @@
 //        &fold_bits=N &max_rules=N  rANS folding / RePair rule cap
 //    cla                            Compressed Linear Algebra baseline
 //        ?co_code=0|1 &sample_rows=N &max_group_size=N &max_candidates=N
+//    sharded                        scatter/gather over row-range shards
+//        ?inner=SPEC                (serving/sharded_matrix.hpp; the inner
+//        &rows_per_shard=N|shards=N|target_bytes=B   spec escapes '&' as '+')
 //    auto                           format advisor (Section 4.2 mechanism)
 //        ?budget=64MiB &blocks=N &sample_rows=N
 //

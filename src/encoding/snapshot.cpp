@@ -1,6 +1,7 @@
 #include "encoding/snapshot.hpp"
 
 #include <array>
+#include <filesystem>
 #include <fstream>
 
 namespace gcm {
@@ -31,6 +32,11 @@ u32 Crc32(const void* data, std::size_t size, u32 seed) {
 }
 
 std::vector<u8> ReadFileBytes(const std::string& path) {
+  // POSIX lets an ifstream "open" a directory and then report a garbage
+  // size; reject it by name before sizing the buffer.
+  std::error_code ec;
+  GCM_CHECK_MSG(!std::filesystem::is_directory(path, ec),
+                path << " is a directory, not a file");
   std::ifstream in(path, std::ios::binary);
   GCM_CHECK_MSG(in.good(), "cannot open file: " << path);
   in.seekg(0, std::ios::end);

@@ -1,6 +1,7 @@
 #include "matrix/matrix_io.hpp"
 
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iomanip>
 #include <limits>
@@ -41,11 +42,18 @@ const char* MatrixFileKindName(MatrixFileKind kind) {
 }
 
 MatrixFileKind SniffMatrixFile(const std::string& path) {
+  // A directory opens "successfully" as an ifstream on POSIX and an empty
+  // file sniffs as dense text whose parser then reports a confusing
+  // missing-header error; name both conditions up front instead.
+  std::error_code ec;
+  GCM_CHECK_MSG(!std::filesystem::is_directory(path, ec),
+                path << " is a directory, not a matrix file");
   std::ifstream in(path, std::ios::binary);
   GCM_CHECK_MSG(in.good(), "cannot open file: " << path);
   char head[16] = {};
   in.read(head, sizeof(head));
   std::size_t got = static_cast<std::size_t>(in.gcount());
+  GCM_CHECK_MSG(got > 0, path << " is empty (0 bytes); not a matrix file");
   if (got >= sizeof(u32)) {
     u32 magic;
     std::memcpy(&magic, head, sizeof(magic));

@@ -1,0 +1,114 @@
+#include "serving/matrix_store.hpp"
+
+#include <filesystem>
+#include <functional>
+#include <stdexcept>
+#include <utility>
+
+#include "encoding/snapshot.hpp"
+#include "matrix/dense_matrix.hpp"
+#include "matrix/sparse_builder.hpp"
+
+namespace gcm {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Shared producer loop: `build_shard(begin, end)` returns the built shard
+/// for rows [begin, end); the loop persists each shard and assembles the
+/// manifest.
+ShardManifest WriteStore(
+    std::size_t rows, std::size_t cols, std::size_t per_shard,
+    const std::string& dir,
+    const std::function<AnyMatrix(std::size_t, std::size_t)>& build_shard) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  GCM_CHECK_MSG(!ec, "cannot create store directory " << dir << ": "
+                                                      << ec.message());
+  ShardManifest manifest;
+  manifest.rows = rows;
+  manifest.cols = cols;
+  for (std::size_t begin = 0; begin < rows; begin += per_shard) {
+    std::size_t end = std::min(rows, begin + per_shard);
+    AnyMatrix shard = build_shard(begin, end);
+    std::vector<u8> bytes = shard.SaveSnapshotBytes();
+    ShardManifestEntry entry;
+    entry.row_begin = begin;
+    entry.row_end = end;
+    entry.file = ShardFileName(manifest.shards.size());
+    entry.spec = shard.FormatTag();
+    entry.crc32 = Crc32(bytes.data(), bytes.size());
+    entry.snapshot_bytes = bytes.size();
+    entry.compressed_bytes = shard.CompressedBytes();
+    WriteFileBytes((fs::path(dir) / entry.file).string(), bytes);
+    manifest.shards.push_back(std::move(entry));
+  }
+  manifest.Save((fs::path(dir) / kShardManifestFileName).string());
+  return manifest;
+}
+
+MatrixSpec ParseInnerSpec(const std::string& inner_spec) {
+  MatrixSpec inner = MatrixSpec::Parse(inner_spec);
+  if (inner.family == "sharded") {
+    throw std::invalid_argument(
+        "MatrixStore::Partition inner spec \"" + inner_spec +
+        "\" is itself sharded; shards hold concrete backends");
+  }
+  return inner;
+}
+
+}  // namespace
+
+ShardManifest MatrixStore::Partition(const DenseMatrix& dense,
+                                     const std::string& inner_spec,
+                                     const ShardingPolicy& policy,
+                                     const std::string& dir) {
+  MatrixSpec inner = ParseInnerSpec(inner_spec);
+  std::size_t per_shard =
+      policy.ResolveRowsPerShard(dense.rows(), dense.cols());
+  return WriteStore(dense.rows(), dense.cols(), per_shard, dir,
+                    [&](std::size_t begin, std::size_t end) {
+                      return AnyMatrix::Build(dense.RowSlice(begin, end),
+                                              inner);
+                    });
+}
+
+ShardManifest MatrixStore::Partition(std::size_t rows, std::size_t cols,
+                                     std::vector<Triplet> entries,
+                                     const std::string& inner_spec,
+                                     const ShardingPolicy& policy,
+                                     const std::string& dir) {
+  MatrixSpec inner = ParseInnerSpec(inner_spec);
+  std::size_t per_shard = policy.ResolveRowsPerShard(rows, cols);
+  std::vector<std::vector<Triplet>> buckets =
+      BucketTripletsByShard(rows, per_shard, std::move(entries));
+  return WriteStore(rows, cols, per_shard, dir,
+                    [&](std::size_t begin, std::size_t end) {
+                      return AnyMatrix::Build(end - begin, cols,
+                                              std::move(buckets[begin /
+                                                                per_shard]),
+                                              inner);
+                    });
+}
+
+std::string MatrixStore::ManifestPath(const std::string& dir_or_manifest) {
+  fs::path path(dir_or_manifest);
+  std::error_code ec;
+  if (fs::is_directory(path, ec)) path /= kShardManifestFileName;
+  return path.string();
+}
+
+ShardManifest MatrixStore::ReadManifest(const std::string& dir_or_manifest) {
+  return ShardManifest::Load(ManifestPath(dir_or_manifest));
+}
+
+AnyMatrix MatrixStore::Open(const std::string& dir_or_manifest,
+                            ShardLoadMode mode) {
+  std::string manifest_path = ManifestPath(dir_or_manifest);
+  ShardManifest manifest = ShardManifest::Load(manifest_path);
+  std::string dir = fs::path(manifest_path).parent_path().string();
+  return AnyMatrix(
+      ShardedMatrix::FromManifest(std::move(manifest), dir, mode));
+}
+
+}  // namespace gcm

@@ -1,0 +1,73 @@
+// MatrixStore: the directory layout of a sharded serving store.
+//
+// Producer side -- Partition cuts a matrix into row-range shards, builds
+// each shard with an inner engine spec, and writes one snapshot file per
+// shard plus a checksummed manifest:
+//
+//    MatrixStore::Partition(dense, "gcm:re_ans",
+//                           {.rows_per_shard = 100000}, "store/");
+//    store/manifest.gcsnap, store/shard_00000.gcsnap, ...
+//
+// Consumer side -- Open reads only the manifest and returns the store as
+// an engine matrix (a ShardedMatrix behind AnyMatrix), so startup cost is
+// independent of the model size; shard payloads stream in lazily on first
+// touch (or eagerly on request) and can be evicted between requests for
+// memory-bounded serving:
+//
+//    AnyMatrix m = MatrixStore::Open("store/");   // lazy by default
+//    m.MultiplyRightInto(x, y, {.pool = &pool});  // shard-parallel
+//
+// Reopening a store never re-runs any construction pipeline: each shard
+// file is an ordinary AnyMatrix snapshot whose stored grammar / rANS
+// payload is adopted as-is (RePairInvocationCount() stays flat across
+// Open + multiply). Every shard load is checksum-verified against the
+// manifest; a swapped, truncated or bit-rotted shard file fails with an
+// error naming the shard.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/any_matrix.hpp"
+#include "serving/shard_manifest.hpp"
+#include "serving/sharded_matrix.hpp"
+
+namespace gcm {
+
+class DenseMatrix;
+struct Triplet;
+
+class MatrixStore {
+ public:
+  /// Partitions `dense` into row-range shards built with `inner_spec`
+  /// (any non-sharded engine spec) and writes shard snapshots plus the
+  /// manifest into `dir` (created if absent). Returns the manifest.
+  static ShardManifest Partition(const DenseMatrix& dense,
+                                 const std::string& inner_spec,
+                                 const ShardingPolicy& policy,
+                                 const std::string& dir);
+
+  /// Dense-free producer path: triplets are bucketed per shard and each
+  /// bucket runs through the inner spec's own ingestion pipeline.
+  static ShardManifest Partition(std::size_t rows, std::size_t cols,
+                                 std::vector<Triplet> entries,
+                                 const std::string& inner_spec,
+                                 const ShardingPolicy& policy,
+                                 const std::string& dir);
+
+  /// Opens a store directory (or a manifest file path directly) as an
+  /// engine matrix. kLazy reads shard files on first touch; kEager loads
+  /// all shards now. Errors name the manifest / shard that failed.
+  static AnyMatrix Open(const std::string& dir_or_manifest,
+                        ShardLoadMode mode = ShardLoadMode::kLazy);
+
+  /// Reads and validates the manifest alone (no shard file is touched).
+  static ShardManifest ReadManifest(const std::string& dir_or_manifest);
+
+  /// The manifest path for a store directory (the argument unchanged if
+  /// it already names a file).
+  static std::string ManifestPath(const std::string& dir_or_manifest);
+};
+
+}  // namespace gcm

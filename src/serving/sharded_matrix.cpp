@@ -1,0 +1,440 @@
+#include "serving/sharded_matrix.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <stdexcept>
+#include <utility>
+
+#include "encoding/snapshot.hpp"
+#include "matrix/dense_matrix.hpp"
+#include "matrix/sparse_builder.hpp"
+#include "util/thread_pool.hpp"
+
+namespace gcm {
+namespace {
+
+/// Validates that `loaded` is the shard the manifest promised; `what`
+/// names the source (file path or section name) for error messages.
+void CheckLoadedShard(const AnyMatrix& loaded, const ShardManifestEntry& entry,
+                      std::size_t cols, const std::string& what) {
+  GCM_CHECK_MSG(loaded.rows() == entry.rows() && loaded.cols() == cols,
+                "shard " << what << " holds a " << loaded.rows() << "x"
+                         << loaded.cols()
+                         << " matrix but the manifest promises "
+                         << entry.rows() << "x" << cols);
+  GCM_CHECK_MSG(loaded.FormatTag() == entry.spec,
+                "shard " << what << " holds spec \"" << loaded.FormatTag()
+                         << "\" but the manifest promises \"" << entry.spec
+                         << '"');
+}
+
+/// Checksum gate before any payload parsing: a swapped or bit-rotted shard
+/// must fail here, naming the shard, not deep inside a section parser.
+void CheckShardBytes(const std::vector<u8>& bytes,
+                     const ShardManifestEntry& entry, const std::string& what) {
+  GCM_CHECK_MSG(bytes.size() == entry.snapshot_bytes,
+                "shard " << what << " is " << bytes.size()
+                         << " bytes but the manifest records "
+                         << entry.snapshot_bytes);
+  u32 crc = Crc32(bytes.data(), bytes.size());
+  GCM_CHECK_MSG(crc == entry.crc32,
+                "shard " << what << " fails its manifest checksum (stored "
+                         << entry.crc32 << ", computed " << crc << ")");
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ShardingPolicy
+// ---------------------------------------------------------------------------
+
+ShardingPolicy ShardingPolicy::FromSpec(const MatrixSpec& spec) {
+  ShardingPolicy policy;
+  policy.rows_per_shard = spec.GetSize("rows_per_shard", 0);
+  policy.shards = spec.GetSize("shards", 0);
+  policy.target_bytes = spec.GetBytes("target_bytes", 0);
+  return policy;
+}
+
+std::size_t ShardingPolicy::ResolveRowsPerShard(std::size_t rows,
+                                                std::size_t cols) const {
+  int fields_set = (rows_per_shard != 0) + (shards != 0) + (target_bytes != 0);
+  if (fields_set > 1) {
+    throw std::invalid_argument(
+        "sharding policy sets more than one of rows_per_shard / shards / "
+        "target_bytes; pick exactly one");
+  }
+  GCM_CHECK_MSG(rows > 0, "cannot shard a matrix with no rows");
+  std::size_t per_shard;
+  if (rows_per_shard != 0) {
+    per_shard = rows_per_shard;
+  } else if (target_bytes != 0) {
+    u64 bytes_per_row = static_cast<u64>(std::max<std::size_t>(cols, 1)) *
+                        sizeof(double);
+    per_shard = static_cast<std::size_t>(
+        std::max<u64>(1, target_bytes / bytes_per_row));
+  } else {
+    std::size_t count = shards != 0 ? shards : kDefaultShards;
+    count = std::clamp<std::size_t>(count, 1, rows);
+    per_shard = (rows + count - 1) / count;
+  }
+  return std::clamp<std::size_t>(per_shard, 1, rows);
+}
+
+// ---------------------------------------------------------------------------
+// ShardedMatrix construction
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<ShardedMatrix> ShardedMatrix::FromShards(
+    std::size_t cols, std::vector<AnyMatrix> shards) {
+  GCM_CHECK_MSG(!shards.empty(), "a sharded matrix needs at least one shard");
+  auto sharded = std::shared_ptr<ShardedMatrix>(new ShardedMatrix());
+  sharded->manifest_.cols = cols;
+  std::size_t row = 0;
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    const AnyMatrix& shard = shards[i];
+    GCM_CHECK_MSG(shard.cols() == cols,
+                  "shard " << i << " has " << shard.cols()
+                           << " columns, expected " << cols);
+    GCM_CHECK_MSG(shard.rows() > 0, "shard " << i << " has no rows");
+    ShardManifestEntry entry;
+    entry.row_begin = row;
+    entry.row_end = row + shard.rows();
+    entry.spec = shard.FormatTag();
+    entry.compressed_bytes = shard.CompressedBytes();
+    row = entry.row_end;
+    auto state = std::make_unique<ShardState>();
+    state->entry = entry;
+    state->resident = shard;
+    sharded->manifest_.shards.push_back(std::move(entry));
+    sharded->states_.push_back(std::move(state));
+  }
+  sharded->manifest_.rows = row;
+  sharded->manifest_.Validate();
+  return sharded;
+}
+
+std::shared_ptr<ShardedMatrix> ShardedMatrix::FromManifest(
+    ShardManifest manifest, std::string dir, ShardLoadMode mode) {
+  manifest.Validate();
+  auto sharded = std::shared_ptr<ShardedMatrix>(new ShardedMatrix());
+  sharded->dir_ = std::move(dir);
+  for (std::size_t i = 0; i < manifest.shards.size(); ++i) {
+    GCM_CHECK_MSG(!manifest.shards[i].file.empty(),
+                  "manifest shard " << i
+                                    << " names no snapshot file (a store "
+                                       "manifest must reference one per "
+                                       "shard)");
+    auto state = std::make_unique<ShardState>();
+    state->entry = manifest.shards[i];
+    state->file_backed = true;
+    sharded->states_.push_back(std::move(state));
+  }
+  sharded->manifest_ = std::move(manifest);
+  if (mode == ShardLoadMode::kEager) {
+    for (std::size_t i = 0; i < sharded->states_.size(); ++i) {
+      sharded->LoadShard(i);
+    }
+  }
+  return sharded;
+}
+
+// ---------------------------------------------------------------------------
+// Residency
+// ---------------------------------------------------------------------------
+
+const ShardedMatrix::ShardState& ShardedMatrix::state(
+    std::size_t index) const {
+  GCM_CHECK_MSG(index < states_.size(), "shard index " << index
+                                                       << " out of range (have "
+                                                       << states_.size()
+                                                       << " shards)");
+  return *states_[index];
+}
+
+AnyMatrix ShardedMatrix::Acquire(const ShardState& shard) const {
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (!shard.resident.valid()) {
+    std::string path =
+        (std::filesystem::path(dir_) / shard.entry.file).string();
+    std::vector<u8> bytes = ReadFileBytes(path);
+    CheckShardBytes(bytes, shard.entry, "file " + path);
+    AnyMatrix loaded;
+    try {
+      loaded = AnyMatrix::LoadSnapshotBytes(std::move(bytes));
+    } catch (const Error& e) {
+      throw Error("shard file " + path + ": " + e.what());
+    }
+    CheckLoadedShard(loaded, shard.entry, cols(), "file " + path);
+    shard.resident = std::move(loaded);
+  }
+  shard.last_touch = ++clock_;
+  return shard.resident;
+}
+
+bool ShardedMatrix::ShardResident(std::size_t index) const {
+  const ShardState& shard = state(index);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.resident.valid();
+}
+
+std::size_t ShardedMatrix::LoadedShardCount() const {
+  std::size_t count = 0;
+  for (const auto& shard : states_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    if (shard->resident.valid()) ++count;
+  }
+  return count;
+}
+
+AnyMatrix ShardedMatrix::LoadShard(std::size_t index) const {
+  return Acquire(state(index));
+}
+
+bool ShardedMatrix::EvictShard(std::size_t index) const {
+  const ShardState& shard = state(index);
+  if (!shard.file_backed) return false;  // nothing to reload from
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (!shard.resident.valid()) return false;
+  shard.resident = AnyMatrix();
+  return true;
+}
+
+std::size_t ShardedMatrix::EvictToResidencyLimit(
+    std::size_t max_resident) const {
+  // Snapshot (index, last_touch) of every resident shard, then evict the
+  // least recently touched file-backed ones. Concurrent touches can race
+  // the snapshot; the limit is a serving-loop hint, not an invariant.
+  std::vector<std::pair<u64, std::size_t>> resident;
+  std::size_t pinned = 0;  // in-memory shards cannot be evicted
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    std::lock_guard<std::mutex> lock(states_[i]->mu);
+    if (!states_[i]->resident.valid()) continue;
+    if (states_[i]->file_backed) {
+      resident.emplace_back(states_[i]->last_touch, i);
+    } else {
+      ++pinned;
+    }
+  }
+  std::sort(resident.begin(), resident.end());
+  std::size_t evicted = 0;
+  std::size_t total = resident.size() + pinned;
+  for (const auto& [touch, index] : resident) {
+    if (total - evicted <= max_resident) break;
+    if (EvictShard(index)) ++evicted;
+  }
+  return evicted;
+}
+
+// ---------------------------------------------------------------------------
+// Kernels
+// ---------------------------------------------------------------------------
+
+void ShardedMatrix::MultiplyRightInto(std::span<const double> x,
+                                      std::span<double> y,
+                                      const MulContext& ctx) const {
+  // Scatter: each shard owns a disjoint slice of y, so the gather is the
+  // write itself and pooled/unpooled runs are bitwise identical.
+  auto run_shard = [&](std::size_t i, const MulContext& inner) {
+    const ShardState& shard = *states_[i];
+    AnyMatrix m = Acquire(shard);
+    m.MultiplyRightInto(
+        x, y.subspan(shard.entry.row_begin, shard.entry.rows()), inner);
+  };
+  if (ctx.pool != nullptr && states_.size() > 1) {
+    // Shards are the parallel grain; shard kernels run sequentially inside
+    // their task (nesting ParallelFor would deadlock the pool).
+    ctx.pool->ParallelFor(states_.size(),
+                          [&](std::size_t i) { run_shard(i, MulContext{}); });
+  } else {
+    for (std::size_t i = 0; i < states_.size(); ++i) run_shard(i, ctx);
+  }
+}
+
+void ShardedMatrix::MultiplyLeftInto(std::span<const double> y,
+                                     std::span<double> x,
+                                     const MulContext& ctx) const {
+  // Each shard contributes a full cols-sized partial; partials are summed
+  // in shard order so the reduction is deterministic with and without a
+  // pool. (This kernel allocates its scratch per call -- shards overwrite
+  // their outputs, so the partials cannot share the caller's span.)
+  std::fill(x.begin(), x.end(), 0.0);
+  std::size_t n = states_.size();
+  if (ctx.pool != nullptr && n > 1) {
+    std::vector<double> partials(n * cols());
+    ctx.pool->ParallelFor(n, [&](std::size_t i) {
+      const ShardState& shard = *states_[i];
+      AnyMatrix m = Acquire(shard);
+      m.MultiplyLeftInto(
+          y.subspan(shard.entry.row_begin, shard.entry.rows()),
+          std::span<double>(partials.data() + i * cols(), cols()),
+          MulContext{});
+    });
+    for (std::size_t i = 0; i < n; ++i) {
+      const double* partial = partials.data() + i * cols();
+      for (std::size_t c = 0; c < cols(); ++c) x[c] += partial[c];
+    }
+  } else {
+    std::vector<double> partial(cols());
+    for (std::size_t i = 0; i < n; ++i) {
+      const ShardState& shard = *states_[i];
+      AnyMatrix m = Acquire(shard);
+      m.MultiplyLeftInto(
+          y.subspan(shard.entry.row_begin, shard.entry.rows()), partial, ctx);
+      for (std::size_t c = 0; c < cols(); ++c) x[c] += partial[c];
+    }
+  }
+}
+
+DenseMatrix ShardedMatrix::ToDense() const {
+  DenseMatrix out(rows(), cols());
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    const ShardState& shard = *states_[i];
+    DenseMatrix block = Acquire(shard).ToDense();
+    for (std::size_t r = 0; r < block.rows(); ++r) {
+      for (std::size_t c = 0; c < block.cols(); ++c) {
+        out.Set(shard.entry.row_begin + r, c, block.At(r, c));
+      }
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot persistence
+// ---------------------------------------------------------------------------
+
+void ShardedMatrix::SaveSections(SnapshotWriter* out) const {
+  // Single-file form: the manifest section describes the embedded shard
+  // sections (file names cleared, checksums of the embedded bytes), so the
+  // store layout and the single file stay mutually convertible.
+  std::vector<std::vector<u8>> blobs(states_.size());
+  ShardManifest embedded = manifest_;
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    AnyMatrix shard = Acquire(*states_[i]);
+    blobs[i] = shard.SaveSnapshotBytes();
+    ShardManifestEntry& entry = embedded.shards[i];
+    entry.file.clear();
+    entry.spec = shard.FormatTag();
+    entry.crc32 = Crc32(blobs[i].data(), blobs[i].size());
+    entry.snapshot_bytes = blobs[i].size();
+    entry.compressed_bytes = shard.CompressedBytes();
+  }
+  embedded.SerializeInto(&out->BeginSection(kShardManifestSection));
+  for (std::size_t i = 0; i < blobs.size(); ++i) {
+    out->BeginSection(ShardSectionName(i))
+        .PutBytes(blobs[i].data(), blobs[i].size());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Spec-registry hooks
+// ---------------------------------------------------------------------------
+
+MatrixSpec InnerSpecFromSharded(const MatrixSpec& spec) {
+  auto it = spec.params.find("inner");
+  std::string inner_text =
+      it == spec.params.end() ? std::string("csr") : DecodeInnerSpec(it->second);
+  MatrixSpec inner = MatrixSpec::Parse(inner_text);
+  if (inner.family == "sharded") {
+    throw std::invalid_argument(
+        "sharded specs cannot nest: inner spec \"" + inner_text +
+        "\" is itself sharded");
+  }
+  return inner;
+}
+
+AnyMatrix BuildShardedFromSpec(const DenseMatrix& dense,
+                               const MatrixSpec& spec) {
+  MatrixSpec inner = InnerSpecFromSharded(spec);
+  std::size_t per_shard = ShardingPolicy::FromSpec(spec).ResolveRowsPerShard(
+      dense.rows(), dense.cols());
+  std::vector<AnyMatrix> shards;
+  for (std::size_t begin = 0; begin < dense.rows(); begin += per_shard) {
+    std::size_t end = std::min(dense.rows(), begin + per_shard);
+    shards.push_back(AnyMatrix::Build(dense.RowSlice(begin, end), inner));
+  }
+  return AnyMatrix(ShardedMatrix::FromShards(dense.cols(), std::move(shards)));
+}
+
+std::vector<std::vector<Triplet>> BucketTripletsByShard(
+    std::size_t rows, std::size_t per_shard, std::vector<Triplet> entries) {
+  std::size_t shard_count = (rows + per_shard - 1) / per_shard;
+  std::vector<std::vector<Triplet>> buckets(shard_count);
+  for (const Triplet& t : entries) {
+    GCM_CHECK_MSG(t.row < rows, "triplet row " << t.row
+                                               << " outside the declared "
+                                               << rows << " rows");
+    Triplet rebased = t;
+    std::size_t shard = t.row / per_shard;
+    rebased.row = static_cast<u32>(t.row - shard * per_shard);
+    buckets[shard].push_back(rebased);
+  }
+  return buckets;
+}
+
+AnyMatrix BuildShardedFromTriplets(std::size_t rows, std::size_t cols,
+                                   std::vector<Triplet> entries,
+                                   const MatrixSpec& spec) {
+  MatrixSpec inner = InnerSpecFromSharded(spec);
+  std::size_t per_shard =
+      ShardingPolicy::FromSpec(spec).ResolveRowsPerShard(rows, cols);
+  std::vector<std::vector<Triplet>> buckets =
+      BucketTripletsByShard(rows, per_shard, std::move(entries));
+  std::vector<AnyMatrix> shards;
+  shards.reserve(buckets.size());
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    std::size_t begin = i * per_shard;
+    std::size_t shard_rows = std::min(rows - begin, per_shard);
+    shards.push_back(
+        AnyMatrix::Build(shard_rows, cols, std::move(buckets[i]), inner));
+  }
+  return AnyMatrix(ShardedMatrix::FromShards(cols, std::move(shards)));
+}
+
+AnyMatrix LoadShardedFromSnapshot(const SnapshotReader& in,
+                                  const MatrixSpec& spec,
+                                  const std::string& origin_path) {
+  ShardManifest manifest = ShardManifest::FromSnapshot(in);
+  std::size_t declared = spec.GetSize("shards", manifest.shards.size());
+  GCM_CHECK_MSG(declared == manifest.shards.size(),
+                "snapshot spec declares " << declared
+                                          << " shards but the manifest holds "
+                                          << manifest.shards.size());
+  if (in.HasSection(ShardSectionName(0))) {
+    // Single-file form: every shard snapshot is embedded as a section.
+    std::vector<AnyMatrix> shards;
+    shards.reserve(manifest.shards.size());
+    for (std::size_t i = 0; i < manifest.shards.size(); ++i) {
+      std::string section = ShardSectionName(i);
+      ByteReader reader = in.OpenSection(section);
+      std::vector<u8> bytes(reader.Remaining());
+      reader.GetBytes(bytes.data(), bytes.size());
+      try {
+        CheckShardBytes(bytes, manifest.shards[i], "section \"" + section +
+                                                       '"');
+        AnyMatrix shard = AnyMatrix::LoadSnapshotBytes(std::move(bytes));
+        CheckLoadedShard(shard, manifest.shards[i], manifest.cols,
+                         "section \"" + section + '"');
+        shards.push_back(std::move(shard));
+      } catch (const Error& e) {
+        throw Error("snapshot section \"" + section +
+                    "\" is corrupt: " + e.what());
+      }
+    }
+    return AnyMatrix(
+        ShardedMatrix::FromShards(manifest.cols, std::move(shards)));
+  }
+  // Store-manifest form: shard snapshots are sibling files.
+  if (origin_path.empty()) {
+    throw Error(
+        "this sharded snapshot is a store manifest referencing sibling "
+        "shard files; load it from its file path (AnyMatrix::Load or "
+        "MatrixStore::Open), not from a byte buffer");
+  }
+  std::string dir = std::filesystem::path(origin_path).parent_path().string();
+  return AnyMatrix(ShardedMatrix::FromManifest(std::move(manifest), dir,
+                                               ShardLoadMode::kLazy));
+}
+
+}  // namespace gcm

@@ -1,0 +1,202 @@
+// ShardedMatrix: scatter/gather serving kernel over per-shard snapshots.
+//
+// The serving-scale counterpart of the engine API: a matrix is split into
+// contiguous row ranges, each range is an independent AnyMatrix (typically
+// persisted as its own snapshot file, see serving/matrix_store.hpp), and
+// ShardedMatrix implements IMatrixKernel over the collection -- so a
+// sharded store drops straight into every existing engine loop:
+//
+//    AnyMatrix m = MatrixStore::Open("store/");       // reads manifest only
+//    m.MultiplyRightInto(x, y, {.pool = &pool});      // shard-parallel
+//
+// Kernels scatter row ranges across shards and gather into the caller's
+// span: MultiplyRightInto hands each shard a disjoint sub-span of y (the
+// gather is free, and pooled/unpooled runs are bitwise identical);
+// MultiplyLeftInto collects one cols-sized partial per shard and sums the
+// partials in shard order, so the reduction is deterministic with and
+// without a pool. When a pool is present, shards run in parallel and each
+// shard kernel runs sequentially inside its task; with no pool (or one
+// shard) the context is forwarded so a lone shard can still use its own
+// internal parallelism.
+//
+// Residency: shards backed by files load lazily (read on first touch,
+// checksum-verified against the manifest) or eagerly at open, and can be
+// evicted (EvictShard / EvictToResidencyLimit) for memory-bounded serving;
+// a later touch transparently reloads. In-memory shards (built via the
+// "sharded" spec family) are always resident. All residency operations are
+// const and thread-safe -- callers reach them through the engine with
+//
+//    auto* sharded = ShardedMatrix::FromKernel(m.kernel());
+//
+// Spec grammar:  sharded?inner=SPEC&rows_per_shard=N|shards=N|target_bytes=B
+// where SPEC is any non-sharded engine spec with '&' written as '+'
+// (EncodeInnerSpec), e.g. "sharded?inner=gcm:re_ans?blocks=2&shards=8".
+// Snapshots round-trip through AnyMatrix::Save/Load: the single-file form
+// embeds a "manifest" section plus one "shard_<i>" section per shard; a
+// store manifest (sections "meta" + "manifest" only) loads through the same
+// path when opened from a file, resolving shard files next to it.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/any_matrix.hpp"
+#include "serving/shard_manifest.hpp"
+#include "util/common.hpp"
+
+namespace gcm {
+
+class DenseMatrix;
+struct Triplet;
+
+/// How MatrixStore::Open / manifest loading materializes shard payloads.
+enum class ShardLoadMode {
+  kEager,  ///< read and deserialize every shard at open
+  kLazy,   ///< read a shard's snapshot on its first touch
+};
+
+/// How to cut a matrix into row-range shards. At most one field may be
+/// set; all-zero picks the default shard count. target_bytes estimates
+/// rows per shard from the *dense* row footprint (cols * 8 bytes), i.e. it
+/// bounds the uncompressed slice a shard covers, not its compressed size.
+struct ShardingPolicy {
+  std::size_t rows_per_shard = 0;
+  std::size_t shards = 0;
+  u64 target_bytes = 0;
+
+  static constexpr std::size_t kDefaultShards = 4;
+
+  /// Reads rows_per_shard / shards / target_bytes spec keys.
+  static ShardingPolicy FromSpec(const MatrixSpec& spec);
+
+  /// The resolved rows-per-shard for a rows x cols matrix, clamped to
+  /// [1, rows]. Throws std::invalid_argument when more than one policy
+  /// field is set.
+  std::size_t ResolveRowsPerShard(std::size_t rows, std::size_t cols) const;
+};
+
+class SnapshotReader;
+
+class ShardedMatrix final : public IMatrixKernel {
+ public:
+  /// In-memory construction: consecutive shards in row order; every shard
+  /// must have `cols` columns and at least one row. Shards are always
+  /// resident (EvictShard refuses -- there is no file to reload from).
+  static std::shared_ptr<ShardedMatrix> FromShards(
+      std::size_t cols, std::vector<AnyMatrix> shards);
+
+  /// File-backed construction over a validated manifest; shard files are
+  /// resolved relative to `dir`. kEager loads every shard now, kLazy on
+  /// first touch. Loads are checksum-verified against the manifest and a
+  /// mismatch (or a missing / swapped shard file) throws gcm::Error naming
+  /// the shard.
+  static std::shared_ptr<ShardedMatrix> FromManifest(ShardManifest manifest,
+                                                     std::string dir,
+                                                     ShardLoadMode mode);
+
+  /// Downcast helper for callers holding an engine matrix: returns nullptr
+  /// when the kernel is not sharded.
+  static const ShardedMatrix* FromKernel(const IMatrixKernel& kernel) {
+    return dynamic_cast<const ShardedMatrix*>(&kernel);
+  }
+
+  // ---- Shard inspection / residency control (const + thread-safe).
+
+  const ShardManifest& manifest() const { return manifest_; }
+  std::size_t shard_count() const { return states_.size(); }
+
+  bool ShardResident(std::size_t index) const;
+  std::size_t LoadedShardCount() const;
+
+  /// Ensures shard `index` is resident and returns an engine handle to it
+  /// (a cheap shared reference: eviction never invalidates it).
+  AnyMatrix LoadShard(std::size_t index) const;
+
+  /// Drops a file-backed shard's resident payload. Returns false for
+  /// in-memory shards and shards that are not resident.
+  bool EvictShard(std::size_t index) const;
+
+  /// Evicts least-recently-touched file-backed shards until at most
+  /// `max_resident` shards remain resident. Returns the number evicted.
+  std::size_t EvictToResidencyLimit(std::size_t max_resident) const;
+
+  // ---- IMatrixKernel.
+
+  std::size_t rows() const override { return manifest_.rows; }
+  std::size_t cols() const override { return manifest_.cols; }
+  u64 CompressedBytes() const override {
+    return manifest_.TotalCompressedBytes();
+  }
+  std::string FormatTag() const override { return manifest_.FormatTag(); }
+
+  void MultiplyRightInto(std::span<const double> x, std::span<double> y,
+                         const MulContext& ctx) const override;
+  void MultiplyLeftInto(std::span<const double> y, std::span<double> x,
+                        const MulContext& ctx) const override;
+
+  DenseMatrix ToDense() const override;
+
+  /// Single-file persistence: embeds the manifest plus every shard's
+  /// snapshot bytes as sections (loading lazily-evicted shards first).
+  void SaveSections(SnapshotWriter* out) const override;
+
+ private:
+  struct ShardState {
+    ShardManifestEntry entry;
+    bool file_backed = false;
+    mutable std::mutex mu;
+    mutable AnyMatrix resident;  ///< invalid when evicted / not yet loaded
+    mutable u64 last_touch = 0;
+  };
+
+  ShardedMatrix() = default;
+
+  const ShardState& state(std::size_t index) const;
+  /// Loads (if needed), stamps the LRU clock, returns the shard handle.
+  AnyMatrix Acquire(const ShardState& shard) const;
+
+  ShardManifest manifest_;
+  std::string dir_;  ///< base for shard files; empty when fully in-memory
+  std::vector<std::unique_ptr<ShardState>> states_;
+  mutable std::atomic<u64> clock_{0};
+};
+
+/// Splits triplets into one bucket per row-range shard of `per_shard`
+/// rows, rebasing each row index to its shard's local origin. Rows at or
+/// beyond `rows` throw gcm::Error naming the offending triplet. Shared by
+/// the in-memory build path and MatrixStore::Partition so the rebase
+/// invariant lives in one place.
+std::vector<std::vector<Triplet>> BucketTripletsByShard(
+    std::size_t rows, std::size_t per_shard, std::vector<Triplet> entries);
+
+// ---- Spec-registry hooks (called from core/any_matrix.cpp).
+
+/// Extracts and validates the inner spec of a "sharded" spec (default
+/// "csr"); rejects nested sharding with std::invalid_argument.
+MatrixSpec InnerSpecFromSharded(const MatrixSpec& spec);
+
+/// Builds an in-memory sharded matrix per the spec's inner spec and
+/// sharding policy (row slices of `dense`).
+AnyMatrix BuildShardedFromSpec(const DenseMatrix& dense,
+                               const MatrixSpec& spec);
+
+/// Dense-free ingestion: triplets are bucketed by row range and each
+/// bucket feeds the inner spec's own triplet pipeline.
+AnyMatrix BuildShardedFromTriplets(std::size_t rows, std::size_t cols,
+                                   std::vector<Triplet> entries,
+                                   const MatrixSpec& spec);
+
+/// Restores a sharded matrix from a snapshot: the single-file form loads
+/// its embedded shard sections; a store manifest resolves shard files
+/// relative to `origin_path` (empty origin -> gcm::Error, the bytes alone
+/// cannot locate sibling files) and opens them lazily.
+AnyMatrix LoadShardedFromSnapshot(const SnapshotReader& in,
+                                  const MatrixSpec& spec,
+                                  const std::string& origin_path);
+
+}  // namespace gcm

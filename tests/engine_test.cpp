@@ -40,14 +40,22 @@ DenseMatrix TestMatrix() {
   return DenseMatrix::Random(48, 13, 0.5, 6, &rng);
 }
 
-/// Every registered spec plus variants exercising the parameter grammar.
+/// Every registered spec plus variants exercising the parameter grammar,
+/// and a sharded wrapper of every registered spec (the serving layer must
+/// be a drop-in kernel, so the whole suite runs against it too).
 std::vector<std::string> ConformanceSpecs() {
   std::vector<std::string> specs = AnyMatrix::ListSpecs();
+  for (const std::string& base : AnyMatrix::ListSpecs()) {
+    if (base == "sharded") continue;  // nesting is rejected by design
+    specs.push_back("sharded?inner=" + base + "&rows_per_shard=16");
+  }
   specs.push_back("gcm:re_32?blocks=4");
   specs.push_back("gcm:re_ans?blocks=3&fold_bits=10");
   specs.push_back("gcm:re_iv?max_rules=8");
   specs.push_back("cla?co_code=0");
   specs.push_back("auto?budget=64MiB&blocks=2");
+  // Inner specs escape '&' as '+'; the escaped form must conform too.
+  specs.push_back("sharded?inner=gcm:re_ans?blocks=2+fold_bits=10&shards=3");
   return specs;
 }
 
@@ -258,7 +266,7 @@ TEST(MatrixSpecTest, ListSpecsCoversAllSevenBackends) {
   std::vector<std::string> specs = AnyMatrix::ListSpecs();
   for (const char* expected :
        {"dense", "csr", "csr_iv", "csrv", "gcm:csrv", "gcm:re_32",
-        "gcm:re_iv", "gcm:re_ans", "cla", "auto"}) {
+        "gcm:re_iv", "gcm:re_ans", "cla", "sharded", "auto"}) {
     EXPECT_NE(std::find(specs.begin(), specs.end(), expected), specs.end())
         << expected;
   }

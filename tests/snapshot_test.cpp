@@ -436,6 +436,84 @@ TEST(MatrixFileTest, MatrixMarketRejectsMalformedFiles) {
   std::remove(path.c_str());
 }
 
+TEST(MatrixFileTest, EmptyFileIsRejectedByName) {
+  std::string path = TempPath("empty.any");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fclose(f);
+  for (auto probe : {+[](const std::string& p) { SniffMatrixFile(p); },
+                     +[](const std::string& p) { LoadAuto(p); }}) {
+    try {
+      probe(path);
+      FAIL() << "expected Error";
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find("empty"), std::string::npos)
+          << e.what();
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(MatrixFileTest, DirectoryPathIsRejectedByName) {
+  // TempDir itself is a convenient directory that certainly exists.
+  std::string dir = ::testing::TempDir();
+  for (auto probe : {+[](const std::string& p) { SniffMatrixFile(p); },
+                     +[](const std::string& p) { LoadAuto(p); },
+                     +[](const std::string& p) { AnyMatrix::Load(p); }}) {
+    try {
+      probe(dir);
+      FAIL() << "expected Error";
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find("directory"), std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+TEST(MatrixFileTest, ZeroByteSectionSnapshotIsRejectedByName) {
+  // A structurally valid container whose payload section is empty: the
+  // backend parser must fail with the section named, not crash.
+  DenseMatrix dense = TestMatrix();
+  SnapshotWriter writer("csrv");
+  ByteWriter& meta = writer.BeginSection("meta");
+  meta.PutVarint(dense.rows());
+  meta.PutVarint(dense.cols());
+  meta.Put<u64>(0);
+  writer.BeginSection("csrv");  // declared, zero bytes
+  std::string path = TempPath("zero_section.gcsnap");
+  writer.WriteFile(path);
+  EXPECT_EQ(SniffMatrixFile(path), MatrixFileKind::kSnapshot);
+  try {
+    LoadAuto(path);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("\"csrv\""), std::string::npos)
+        << e.what();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(MatrixFileTest, CommentsOnlyMatrixMarketIsRejectedByName) {
+  std::string path = TempPath("comments_only.mtx");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% a banner followed by nothing but commentary\n"
+      "% (no size header, no entries)\n",
+      f);
+  std::fclose(f);
+  EXPECT_EQ(SniffMatrixFile(path), MatrixFileKind::kMatrixMarket);
+  try {
+    LoadAuto(path);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("size header"), std::string::npos)
+        << e.what();
+  }
+  std::remove(path.c_str());
+}
+
 TEST(MatrixFileTest, Crc32MatchesKnownVector) {
   // The classic IEEE test vector: crc32("123456789") = 0xcbf43926.
   const char* digits = "123456789";
