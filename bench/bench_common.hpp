@@ -9,6 +9,7 @@
 #include <cctype>
 #include <cstdio>
 #include <filesystem>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -17,6 +18,7 @@
 #include "matrix/dense_matrix.hpp"
 #include "util/cli.hpp"
 #include "util/common.hpp"
+#include "util/thread_pool.hpp"
 
 namespace gcm::bench {
 
@@ -32,6 +34,26 @@ inline void AddCommonFlags(CliParser* cli) {
   cli->AddFlag("csv", "",
                "append tidy result rows (bench,dataset,config,metric,value) "
                "to this CSV file");
+  cli->AddFlag("build_threads", "0",
+               "construction worker threads for operand builds (0 = all "
+               "hardware threads, 1 = sequential); builds are deterministic, "
+               "so timed results are unaffected");
+}
+
+/// The shared construction pool of a bench run (per --build_threads;
+/// nullptr when 1). Benches time multiplication, not construction, so
+/// building operands on the pool only shortens the run -- determinism
+/// guarantees the operands are bit-identical to a sequential build.
+/// Spawned on the first call, so cache-hit-only runs never pay for it.
+inline ThreadPool* BuildPool(const CliParser& cli) {
+  static bool spawned = false;
+  static std::unique_ptr<ThreadPool> pool;
+  if (!spawned) {
+    pool = MakePoolForThreads(
+        static_cast<std::size_t>(cli.GetInt("build_threads")));
+    spawned = true;
+  }
+  return pool.get();
 }
 
 /// Resolves --datasets into profile pointers.
@@ -80,7 +102,9 @@ inline AnyMatrix BuildCached(const DenseMatrix& dense,
                              const DatasetProfile& profile,
                              const CliParser& cli) {
   std::string dir = cli.GetString("snapshot_cache");
-  if (dir.empty()) return AnyMatrix::Build(dense, spec);
+  if (dir.empty()) {
+    return AnyMatrix::Build(dense, spec, {.pool = BuildPool(cli)});
+  }
 
   std::string key = profile.name + "_s" + cli.GetString("scale") + "_" + spec;
   for (char& c : key) {
@@ -108,7 +132,7 @@ inline AnyMatrix BuildCached(const DenseMatrix& dense,
                    path.string().c_str(), e.what());
     }
   }
-  AnyMatrix built = AnyMatrix::Build(dense, spec);
+  AnyMatrix built = AnyMatrix::Build(dense, spec, {.pool = BuildPool(cli)});
   // Write-then-rename so an interrupted save never leaves a truncated
   // entry under the final name.
   std::filesystem::path staging = path;

@@ -19,6 +19,7 @@
 
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <stdexcept>
 
 #include "core/any_matrix.hpp"
@@ -28,6 +29,7 @@
 #include "serving/sharded_matrix.hpp"
 #include "util/cli.hpp"
 #include "util/format.hpp"
+#include "util/thread_pool.hpp"
 
 using namespace gcm;
 
@@ -38,7 +40,7 @@ int Usage() {
       "usage: mm_repair_cli <compress|decompress|multiply|info> <input> "
       "[output]\n"
       "       [--spec SPEC] [--format csrv|re_32|re_iv|re_ans] [--iters N]\n"
-      "       [--save-snapshot PATH] [--shards N]\n"
+      "       [--save-snapshot PATH] [--shards N] [--build-threads N]\n"
       "inputs may be snapshots, binary dense/CSRV, MatrixMarket, dense "
       "text,\n"
       "or a sharded store manifest; --save-snapshot with --shards > 1 "
@@ -62,14 +64,26 @@ std::string ReshardInnerSpec(const AnyMatrix& matrix, const CliParser& cli) {
   return spec;
 }
 
+/// The construction pool per --build-threads (1 = sequential default, 0 =
+/// all hardware threads; pool and no-pool builds are byte-identical, so
+/// the flag only changes how long the build takes). Created lazily at the
+/// build sites, so commands that never construct (decompress, plain
+/// multiply/info) spawn no workers.
+std::unique_ptr<ThreadPool> BuildPool(const CliParser& cli) {
+  return MakePoolForThreads(
+      static_cast<std::size_t>(cli.GetInt("build-threads")));
+}
+
 void MaybeSaveSnapshot(const AnyMatrix& matrix, const CliParser& cli) {
   std::string path = cli.GetString("save-snapshot");
   if (path.empty()) return;
   std::size_t shards = static_cast<std::size_t>(cli.GetInt("shards"));
   if (shards > 1) {
+    std::unique_ptr<ThreadPool> build_pool = BuildPool(cli);
     std::string inner = ReshardInnerSpec(matrix, cli);
     ShardManifest manifest = MatrixStore::Partition(
-        matrix.ToDense(), inner, {.shards = shards}, path);
+        matrix.ToDense(), inner, {.shards = shards}, path,
+        {.pool = build_pool.get()});
     std::printf("saved %zu-shard store (%s inner, %s) to %s/\n",
                 manifest.shards.size(), inner.c_str(),
                 FormatBytes(manifest.TotalCompressedBytes()).c_str(),
@@ -93,6 +107,9 @@ int main(int argc, char** argv) {
   cli.AddFlag("shards", "1",
               "with --save-snapshot: partition into this many shards "
               "(PATH becomes a store directory)");
+  cli.AddFlag("build-threads", "1",
+              "construction worker threads (1 = sequential, 0 = all "
+              "hardware threads); output is identical either way");
   if (!cli.Parse(argc, argv)) return 0;
   if (cli.positional().size() < 2) return Usage();
   const std::string& command = cli.positional()[0];
@@ -104,9 +121,10 @@ int main(int argc, char** argv) {
       std::string spec = cli.GetString("spec");
       if (spec.empty()) spec = "gcm:" + cli.GetString("format");
       DenseMatrix dense = LoadAuto(input).ToDense();
+      std::unique_ptr<ThreadPool> build_pool = BuildPool(cli);
       AnyMatrix compressed;
       try {
-        compressed = AnyMatrix::Build(dense, spec);
+        compressed = AnyMatrix::Build(dense, spec, {.pool = build_pool.get()});
       } catch (const std::invalid_argument& e) {
         std::fprintf(stderr, "bad --spec/--format: %s\n", e.what());
         return 2;

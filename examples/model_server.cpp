@@ -23,6 +23,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <memory>
 
 #include "core/any_matrix.hpp"
 #include "encoding/snapshot.hpp"
@@ -41,23 +42,28 @@ namespace {
 
 /// Builds the deployment artifact (only reached when nothing is on disk):
 /// a sharded store under `store`, or a single snapshot at `snapshot`.
+/// --build-threads parallelizes the per-shard / per-block construction;
+/// the artifact bytes do not depend on it.
 AnyMatrix BuildArtifact(const CliParser& cli, const std::string& snapshot,
                         const std::string& store) {
   const DatasetProfile& profile = DatasetByName(cli.GetString("dataset"));
   DenseMatrix dense = GenerateDatasetRows(
       profile, static_cast<std::size_t>(cli.GetInt("rows")));
   std::string spec = cli.GetString("spec");
+  std::unique_ptr<ThreadPool> build_pool = MakePoolForThreads(
+      static_cast<std::size_t>(cli.GetInt("build-threads")));
+  BuildContext build_ctx{.pool = build_pool.get()};
   if (!store.empty()) {
     ShardingPolicy policy;
     policy.shards = static_cast<std::size_t>(cli.GetInt("shards"));
     ShardManifest manifest =
-        MatrixStore::Partition(dense, spec, policy, store);
+        MatrixStore::Partition(dense, spec, policy, store, build_ctx);
     std::printf("partitioned %zux%zu %s into %zu shards under %s\n",
                 manifest.rows, manifest.cols, spec.c_str(),
                 manifest.shards.size(), store.c_str());
     return AnyMatrix();  // caller reopens through the manifest
   }
-  AnyMatrix model = AnyMatrix::Build(dense, spec);
+  AnyMatrix model = AnyMatrix::Build(dense, spec, build_ctx);
   if (!snapshot.empty()) {
     model.Save(snapshot);
     std::printf("built %s and saved snapshot to %s\n",
@@ -87,6 +93,10 @@ int main(int argc, char** argv) {
               "evict least-recently-used shards down to this residency "
               "between requests (0 = unlimited)");
   cli.AddFlag("threads", "4", "worker pool for shard-parallel scoring");
+  cli.AddFlag("build-threads", "1",
+              "worker pool for shard-parallel construction when the "
+              "artifact must be built (1 = sequential, 0 = all hardware "
+              "threads); artifact bytes are identical either way");
   cli.AddFlag("eager", "false",
               "load every shard at open instead of on first touch");
   if (!cli.Parse(argc, argv)) return 0;

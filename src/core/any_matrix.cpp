@@ -161,7 +161,8 @@ struct SpecFamily {
   std::vector<std::string_view> variants;
   /// Allowed ?key names.
   std::vector<std::string_view> keys;
-  AnyMatrix (*build)(const DenseMatrix&, const MatrixSpec&);
+  AnyMatrix (*build)(const DenseMatrix&, const MatrixSpec&,
+                     const BuildContext&);
   /// Restores a matrix of this family from a snapshot; nullptr for
   /// families that never appear in snapshot headers ("auto" resolves to a
   /// concrete backend before Save runs). `origin_path` is the file the
@@ -188,19 +189,23 @@ AnyMatrix LoadPayloadSection(const SnapshotReader& in) {
   }
 }
 
-AnyMatrix BuildDenseSpec(const DenseMatrix& dense, const MatrixSpec&) {
+AnyMatrix BuildDenseSpec(const DenseMatrix& dense, const MatrixSpec&,
+                         const BuildContext&) {
   return AnyMatrix::Wrap(DenseMatrix(dense));
 }
 
-AnyMatrix BuildCsrSpec(const DenseMatrix& dense, const MatrixSpec&) {
+AnyMatrix BuildCsrSpec(const DenseMatrix& dense, const MatrixSpec&,
+                       const BuildContext&) {
   return AnyMatrix::Wrap(CsrMatrix::FromDense(dense));
 }
 
-AnyMatrix BuildCsrIvSpec(const DenseMatrix& dense, const MatrixSpec&) {
+AnyMatrix BuildCsrIvSpec(const DenseMatrix& dense, const MatrixSpec&,
+                         const BuildContext&) {
   return AnyMatrix::Wrap(CsrIvMatrix::FromDense(dense));
 }
 
-AnyMatrix BuildCsrvSpec(const DenseMatrix& dense, const MatrixSpec&) {
+AnyMatrix BuildCsrvSpec(const DenseMatrix& dense, const MatrixSpec&,
+                        const BuildContext&) {
   return AnyMatrix::Wrap(CsrvMatrix::FromDense(dense));
 }
 
@@ -213,16 +218,19 @@ GcBuildOptions GcOptionsFromSpec(const MatrixSpec& spec) {
   return options;
 }
 
-AnyMatrix BuildGcmSpec(const DenseMatrix& dense, const MatrixSpec& spec) {
+AnyMatrix BuildGcmSpec(const DenseMatrix& dense, const MatrixSpec& spec,
+                       const BuildContext& ctx) {
   GcBuildOptions options = GcOptionsFromSpec(spec);
   std::size_t blocks = spec.GetSize("blocks", 1);
   if (blocks > 1) {
-    return AnyMatrix::Wrap(BlockedGcMatrix::Build(dense, blocks, options));
+    return AnyMatrix::Wrap(
+        BlockedGcMatrix::Build(dense, blocks, options, {}, ctx));
   }
   return AnyMatrix::Wrap(GcMatrix::FromDense(dense, options));
 }
 
-AnyMatrix BuildClaSpec(const DenseMatrix& dense, const MatrixSpec& spec) {
+AnyMatrix BuildClaSpec(const DenseMatrix& dense, const MatrixSpec& spec,
+                       const BuildContext&) {
   ClaOptions options;
   options.co_code = spec.GetBool("co_code", options.co_code);
   options.sample_rows = spec.GetSize("sample_rows", options.sample_rows);
@@ -233,13 +241,14 @@ AnyMatrix BuildClaSpec(const DenseMatrix& dense, const MatrixSpec& spec) {
   return AnyMatrix::Wrap(ClaMatrix::Compress(dense, options));
 }
 
-AnyMatrix BuildAutoSpec(const DenseMatrix& dense, const MatrixSpec& spec) {
+AnyMatrix BuildAutoSpec(const DenseMatrix& dense, const MatrixSpec& spec,
+                        const BuildContext& ctx) {
   AdvisorConstraints constraints;
   constraints.memory_budget_bytes = spec.GetBytes("budget", 0);
   constraints.blocks = spec.GetSize("blocks", 1);
   constraints.sample_rows =
       spec.GetSize("sample_rows", constraints.sample_rows);
-  return AdviseFormat(dense, constraints, nullptr);
+  return AdviseFormat(dense, constraints, nullptr, ctx);
 }
 
 AnyMatrix LoadDenseSnapshot(const SnapshotReader& in, const MatrixSpec&,
@@ -504,24 +513,26 @@ u64 MatrixSpec::GetBytes(const std::string& key, u64 fallback) const {
 // AnyMatrix
 // ---------------------------------------------------------------------------
 
-AnyMatrix AnyMatrix::Build(const DenseMatrix& dense, const std::string& spec) {
-  return Build(dense, MatrixSpec::Parse(spec));
+AnyMatrix AnyMatrix::Build(const DenseMatrix& dense, const std::string& spec,
+                           const BuildContext& ctx) {
+  return Build(dense, MatrixSpec::Parse(spec), ctx);
 }
 
-AnyMatrix AnyMatrix::Build(const DenseMatrix& dense, const MatrixSpec& spec) {
+AnyMatrix AnyMatrix::Build(const DenseMatrix& dense, const MatrixSpec& spec,
+                           const BuildContext& ctx) {
   const SpecFamily& family = ValidateSpec(spec);
-  return family.build(dense, spec);
+  return family.build(dense, spec, ctx);
 }
 
 AnyMatrix AnyMatrix::Build(std::size_t rows, std::size_t cols,
                            std::vector<Triplet> entries,
-                           const std::string& spec) {
-  return Build(rows, cols, std::move(entries), MatrixSpec::Parse(spec));
+                           const std::string& spec, const BuildContext& ctx) {
+  return Build(rows, cols, std::move(entries), MatrixSpec::Parse(spec), ctx);
 }
 
 AnyMatrix AnyMatrix::Build(std::size_t rows, std::size_t cols,
                            std::vector<Triplet> entries,
-                           const MatrixSpec& spec) {
+                           const MatrixSpec& spec, const BuildContext& ctx) {
   ValidateSpec(spec);
   // Dense-free ingestion where the backend supports it (the paper's
   // matrices would not survive dense staging at full scale).
@@ -536,7 +547,8 @@ AnyMatrix AnyMatrix::Build(std::size_t rows, std::size_t cols,
     std::size_t blocks = spec.GetSize("blocks", 1);
     if (blocks > 1) {
       return Wrap(BlockedGcMatrix::FromCsrv(
-          CsrvFromTriplets(rows, cols, std::move(entries)), blocks, options));
+          CsrvFromTriplets(rows, cols, std::move(entries)), blocks, options,
+          ctx));
     }
     return Wrap(GcMatrix::FromTriplets(rows, cols, std::move(entries),
                                        options));
@@ -544,12 +556,13 @@ AnyMatrix AnyMatrix::Build(std::size_t rows, std::size_t cols,
   if (spec.family == "sharded") {
     // Buckets triplets per row range; each bucket reuses the inner spec's
     // own (possibly dense-free) ingestion pipeline.
-    return BuildShardedFromTriplets(rows, cols, std::move(entries), spec);
+    return BuildShardedFromTriplets(rows, cols, std::move(entries), spec,
+                                    ctx);
   }
   // Remaining backends compress from a dense staging copy (CsrFromTriplets
   // also applies the triplet validation rules first).
   return Build(CsrFromTriplets(rows, cols, std::move(entries)).ToDense(),
-               spec);
+               spec, ctx);
 }
 
 AnyMatrix AnyMatrix::Wrap(DenseMatrix matrix) {

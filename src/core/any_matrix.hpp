@@ -52,6 +52,7 @@
 #include <string>
 #include <vector>
 
+#include "core/build_context.hpp"
 #include "util/common.hpp"
 
 namespace gcm {
@@ -139,18 +140,24 @@ class AnyMatrix {
 
   /// Builds a backend from `dense` according to a spec string / parsed
   /// spec. Unknown families, variants or keys throw std::invalid_argument
-  /// listing every registered spec.
-  static AnyMatrix Build(const DenseMatrix& dense, const std::string& spec);
-  static AnyMatrix Build(const DenseMatrix& dense, const MatrixSpec& spec);
+  /// listing every registered spec. A BuildContext pool parallelizes the
+  /// per-block / per-shard construction grain of the blocked and sharded
+  /// families; pool and no-pool builds are byte-identical when saved.
+  static AnyMatrix Build(const DenseMatrix& dense, const std::string& spec,
+                         const BuildContext& ctx = {});
+  static AnyMatrix Build(const DenseMatrix& dense, const MatrixSpec& spec,
+                         const BuildContext& ctx = {});
 
   /// Sparse ingestion: builds from COO triplets. csr / csrv / gcm go
   /// through the dense-free pipeline of matrix/sparse_builder.hpp; the
   /// remaining backends stage a dense copy.
   static AnyMatrix Build(std::size_t rows, std::size_t cols,
                          std::vector<Triplet> entries,
-                         const std::string& spec);
+                         const std::string& spec,
+                         const BuildContext& ctx = {});
   static AnyMatrix Build(std::size_t rows, std::size_t cols,
-                         std::vector<Triplet> entries, const MatrixSpec& spec);
+                         std::vector<Triplet> entries, const MatrixSpec& spec,
+                         const BuildContext& ctx = {});
 
   /// Adopts an already-built backend (takes ownership by move).
   static AnyMatrix Wrap(DenseMatrix matrix);

@@ -1,6 +1,7 @@
 #include "core/blocked_matrix.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "matrix/csr.hpp"
 
@@ -9,7 +10,8 @@ namespace gcm {
 BlockedGcMatrix BlockedGcMatrix::Build(
     const DenseMatrix& dense, std::size_t blocks,
     const GcBuildOptions& options,
-    const std::vector<std::vector<u32>>& block_orders) {
+    const std::vector<std::vector<u32>>& block_orders,
+    const BuildContext& ctx) {
   GCM_CHECK_MSG(blocks >= 1, "block count must be positive");
   BlockedGcMatrix out;
   out.rows_ = dense.rows();
@@ -28,35 +30,49 @@ BlockedGcMatrix BlockedGcMatrix::Build(
                 "expected " << block_count << " block orders, got "
                             << block_orders.size());
 
-  for (std::size_t b = 0; b < block_count; ++b) {
+  // Per-block RePair builds are embarrassingly parallel: every block owns
+  // its CSRV sequence and shares only the immutable dictionary. Each
+  // block writes only its own slot, so the parallel run is
+  // order-independent and produces exactly the sequential result.
+  std::vector<std::optional<GcMatrix>> built(block_count);
+  MaybeParallelFor(ctx.pool, block_count, [&](std::size_t b) {
     std::size_t row_begin = b * rows_per_block;
     std::size_t row_end = std::min(dense.rows(), row_begin + rows_per_block);
     const std::vector<u32>* order =
         block_orders.empty() ? nullptr : &block_orders[b];
     std::vector<u32> sequence =
         BuildCsrvSequence(dense, row_begin, row_end, *dict, order);
-    out.row_offsets_.push_back(row_begin);
-    out.blocks_.push_back(GcMatrix::FromSequence(std::move(sequence),
-                                                 row_end - row_begin,
-                                                 dense.cols(), dict, options));
+    built[b] = GcMatrix::FromSequence(std::move(sequence),
+                                      row_end - row_begin, dense.cols(), dict,
+                                      options);
+  });
+  for (std::size_t b = 0; b < block_count; ++b) {
+    out.row_offsets_.push_back(b * rows_per_block);
+    out.blocks_.push_back(std::move(*built[b]));
   }
   return out;
 }
 
 BlockedGcMatrix BlockedGcMatrix::FromCsrv(const CsrvMatrix& csrv,
                                           std::size_t blocks,
-                                          const GcBuildOptions& options) {
+                                          const GcBuildOptions& options,
+                                          const BuildContext& ctx) {
   GCM_CHECK_MSG(blocks >= 1, "block count must be positive");
   BlockedGcMatrix out;
   out.rows_ = csrv.rows();
   out.cols_ = csrv.cols();
   auto dict = std::make_shared<const std::vector<double>>(csrv.dictionary());
+  std::vector<CsrvMatrix> parts = csrv.SplitRowBlocks(blocks);
+  std::vector<std::optional<GcMatrix>> built(parts.size());
+  MaybeParallelFor(ctx.pool, parts.size(), [&](std::size_t b) {
+    built[b] = GcMatrix::FromSequence(parts[b].sequence(), parts[b].rows(),
+                                      csrv.cols(), dict, options);
+  });
   std::size_t row_begin = 0;
-  for (const CsrvMatrix& part : csrv.SplitRowBlocks(blocks)) {
+  for (std::size_t b = 0; b < parts.size(); ++b) {
     out.row_offsets_.push_back(row_begin);
-    out.blocks_.push_back(GcMatrix::FromSequence(
-        part.sequence(), part.rows(), csrv.cols(), dict, options));
-    row_begin += part.rows();
+    row_begin += parts[b].rows();
+    out.blocks_.push_back(std::move(*built[b]));
   }
   return out;
 }

@@ -13,6 +13,7 @@
 #include <span>
 #include <vector>
 
+#include "core/build_context.hpp"
 #include "core/gc_matrix.hpp"
 #include "matrix/dense_matrix.hpp"
 #include "util/thread_pool.hpp"
@@ -23,15 +24,21 @@ class BlockedGcMatrix {
  public:
   /// Compresses `dense` into `blocks` row blocks. If `block_orders` is
   /// non-empty it must hold one column traversal order per block.
+  /// Per-block RePair builds are independent (each block owns its sequence
+  /// and shares only the immutable dictionary), so a BuildContext pool runs
+  /// them concurrently; the result is identical to the sequential build.
   static BlockedGcMatrix Build(
       const DenseMatrix& dense, std::size_t blocks,
       const GcBuildOptions& options,
-      const std::vector<std::vector<u32>>& block_orders = {});
+      const std::vector<std::vector<u32>>& block_orders = {},
+      const BuildContext& ctx = {});
 
   /// Compresses an existing CSRV representation into `blocks` row blocks
-  /// without staging a dense copy (sparse-ingestion path).
+  /// without staging a dense copy (sparse-ingestion path). Same per-block
+  /// parallelism and determinism as Build.
   static BlockedGcMatrix FromCsrv(const CsrvMatrix& csrv, std::size_t blocks,
-                                  const GcBuildOptions& options);
+                                  const GcBuildOptions& options,
+                                  const BuildContext& ctx = {});
 
   std::size_t rows() const { return rows_; }
   std::size_t cols() const { return cols_; }

@@ -1,0 +1,27 @@
+// Execution resources for the construction side of the engine.
+//
+// MulContext carries the resources of the query path; BuildContext is its
+// producer-side twin, handed to AnyMatrix::Build, BlockedGcMatrix::Build /
+// FromCsrv, MatrixStore::Partition and the sharded spec builders. A pool
+// parallelizes the embarrassingly parallel grain of construction -- one
+// RePair build per row block, one shard build per row range -- while each
+// block's own pipeline (the RePair pair queue, the rANS encoder) stays
+// sequential, so builds are DETERMINISTIC: pool and no-pool runs produce
+// byte-identical snapshots, shard files and manifests.
+//
+// Nested fan-out (a sharded build whose inner spec is itself blocked) is
+// safe: ThreadPool::ParallelFor lets a worker-thread caller help drain its
+// own range inline instead of blocking a slot.
+#pragma once
+
+namespace gcm {
+
+class ThreadPool;
+
+/// Uniform construction context. Backends that cannot exploit a field
+/// ignore it.
+struct BuildContext {
+  ThreadPool* pool = nullptr;  ///< construction workers; nullptr = sequential
+};
+
+}  // namespace gcm

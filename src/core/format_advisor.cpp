@@ -113,14 +113,14 @@ AdvisorReport AdviseFormat(const DenseMatrix& dense,
 
 AnyMatrix AdviseFormat(const DenseMatrix& dense,
                        const AdvisorConstraints& constraints,
-                       AdvisorReport* report) {
+                       AdvisorReport* report, const BuildContext& ctx) {
   AdvisorReport advice = AdviseFormat(dense, constraints);
   if (report != nullptr) *report = advice;
   GcBuildOptions options;
   options.format = advice.recommended;
   if (constraints.blocks > 1) {
     return AnyMatrix::Wrap(
-        BlockedGcMatrix::Build(dense, constraints.blocks, options));
+        BlockedGcMatrix::Build(dense, constraints.blocks, options, {}, ctx));
   }
   return AnyMatrix::Wrap(GcMatrix::FromDense(dense, options));
 }

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "core/build_context.hpp"
 #include "core/gc_matrix.hpp"
 #include "matrix/dense_matrix.hpp"
 
@@ -58,11 +59,12 @@ AdvisorReport AdviseFormat(const DenseMatrix& dense,
 class AnyMatrix;
 
 /// Engine overload: same profiling, but returns a ready-to-use AnyMatrix
-/// built in the recommended format (blocked when constraints.blocks > 1).
-/// The full report is copied to `report` when non-null. This is the
-/// backend behind the "auto?budget=..." spec string.
+/// built in the recommended format (blocked when constraints.blocks > 1;
+/// a BuildContext pool parallelizes the per-block builds). The full report
+/// is copied to `report` when non-null. This is the backend behind the
+/// "auto?budget=..." spec string.
 AnyMatrix AdviseFormat(const DenseMatrix& dense,
                        const AdvisorConstraints& constraints,
-                       AdvisorReport* report);
+                       AdvisorReport* report, const BuildContext& ctx = {});
 
 }  // namespace gcm

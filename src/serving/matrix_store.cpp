@@ -1,5 +1,6 @@
 #include "serving/matrix_store.hpp"
 
+#include <algorithm>
 #include <filesystem>
 #include <functional>
 #include <stdexcept>
@@ -8,42 +9,129 @@
 #include "encoding/snapshot.hpp"
 #include "matrix/dense_matrix.hpp"
 #include "matrix/sparse_builder.hpp"
+#include "util/thread_pool.hpp"
 
 namespace gcm {
 namespace {
 
 namespace fs = std::filesystem;
 
-/// Shared producer loop: `build_shard(begin, end)` returns the built shard
-/// for rows [begin, end); the loop persists each shard and assembles the
-/// manifest.
+/// Staging / backup suffixes of the two-phase store write. A failed
+/// Partition leaves at worst *.tmp / *.old litter that Open never reads
+/// (and the normal paths clean up even that).
+constexpr const char* kStagingSuffix = ".tmp";
+constexpr const char* kBackupSuffix = ".old";
+
+/// Shared producer pipeline: `build_shard(begin, end)` returns the built
+/// shard for rows [begin, end).
+///
+/// Phase 1 builds, serializes and *stages* each shard (a `.tmp` sibling of
+/// its final name) -- concurrently on the BuildContext pool, each task
+/// holding only its own shard in memory and dropping it once written. The
+/// manifest entries land in per-shard slots, so the manifest and every
+/// shard file are byte-identical to the sequential layout regardless of
+/// the pool.
+///
+/// Phase 2 flips the staged files live in manifest order, manifest last.
+/// A file being overwritten is first set aside under a `.old` backup
+/// name; if any rename fails, the flipped files are removed and the
+/// backups restored -- so a failed Partition (an exception in either
+/// phase) leaves a pre-existing store byte-for-byte intact and never a
+/// directory Open would half-accept. A hard process kill is weaker: dying
+/// mid-flip of a REpartition can leave the old manifest next to
+/// already-replaced shard files (Open then fails their checksums, naming
+/// the shards) with the originals still recoverable from the `.old`
+/// backups; making that window atomic needs manifest-versioned shard
+/// file names (see ROADMAP).
 ShardManifest WriteStore(
     std::size_t rows, std::size_t cols, std::size_t per_shard,
-    const std::string& dir,
+    const std::string& dir, const BuildContext& ctx,
     const std::function<AnyMatrix(std::size_t, std::size_t)>& build_shard) {
+  std::size_t shard_count = (rows + per_shard - 1) / per_shard;
   std::error_code ec;
-  fs::create_directories(dir, ec);
+  bool created_dir = fs::create_directories(dir, ec);
   GCM_CHECK_MSG(!ec, "cannot create store directory " << dir << ": "
                                                       << ec.message());
+
   ShardManifest manifest;
   manifest.rows = rows;
   manifest.cols = cols;
-  for (std::size_t begin = 0; begin < rows; begin += per_shard) {
-    std::size_t end = std::min(rows, begin + per_shard);
-    AnyMatrix shard = build_shard(begin, end);
-    std::vector<u8> bytes = shard.SaveSnapshotBytes();
-    ShardManifestEntry entry;
-    entry.row_begin = begin;
-    entry.row_end = end;
-    entry.file = ShardFileName(manifest.shards.size());
-    entry.spec = shard.FormatTag();
-    entry.crc32 = Crc32(bytes.data(), bytes.size());
-    entry.snapshot_bytes = bytes.size();
-    entry.compressed_bytes = shard.CompressedBytes();
-    WriteFileBytes((fs::path(dir) / entry.file).string(), bytes);
-    manifest.shards.push_back(std::move(entry));
+  manifest.shards.resize(shard_count);
+  std::vector<std::string> files;  // final names, manifest last
+  for (std::size_t i = 0; i < shard_count; ++i) {
+    files.push_back(ShardFileName(i));
   }
-  manifest.Save((fs::path(dir) / kShardManifestFileName).string());
+  files.emplace_back(kShardManifestFileName);
+  auto staging_path = [&](const std::string& file) {
+    return fs::path(dir) / (file + kStagingSuffix);
+  };
+
+  try {
+    // Phase 1: build + stage, shard-parallel. Slots are disjoint and
+    // WriteFileBytes targets one distinct staging file per task.
+    MaybeParallelFor(ctx.pool, shard_count, [&](std::size_t i) {
+      std::size_t begin = i * per_shard;
+      AnyMatrix shard = build_shard(begin, std::min(rows, begin + per_shard));
+      std::vector<u8> bytes = shard.SaveSnapshotBytes();
+      ShardManifestEntry& entry = manifest.shards[i];
+      entry.row_begin = begin;
+      entry.row_end = std::min(rows, begin + per_shard);
+      entry.file = ShardFileName(i);
+      entry.spec = shard.FormatTag();
+      entry.crc32 = Crc32(bytes.data(), bytes.size());
+      entry.snapshot_bytes = bytes.size();
+      entry.compressed_bytes = shard.CompressedBytes();
+      WriteFileBytes(staging_path(entry.file).string(), bytes);
+    });
+    manifest.Save(staging_path(kShardManifestFileName).string());
+
+    // Phase 2: flip staged files live, displacing overwritten originals
+    // to backups so a mid-flip failure can roll everything back.
+    std::vector<std::pair<fs::path, fs::path>> displaced;  // final, backup
+    std::vector<fs::path> flipped;
+    try {
+      for (const std::string& file : files) {
+        fs::path final_path = fs::path(dir) / file;
+        std::error_code probe;
+        if (fs::exists(final_path, probe)) {
+          fs::path backup = fs::path(dir) / (file + kBackupSuffix);
+          fs::rename(final_path, backup);
+          displaced.emplace_back(final_path, backup);
+        }
+        fs::rename(staging_path(file), final_path);
+        flipped.push_back(final_path);
+      }
+    } catch (...) {
+      std::error_code ignore;
+      for (const fs::path& path : flipped) fs::remove(path, ignore);
+      for (const auto& [final_path, backup] : displaced) {
+        fs::rename(backup, final_path, ignore);
+      }
+      throw;  // the outer catch clears remaining staging litter
+    }
+    std::error_code ignore;
+    for (const auto& [final_path, backup] : displaced) {
+      fs::remove(backup, ignore);
+    }
+    // Repartitioning into fewer shards must not strand the old store's
+    // surplus shard files next to the new manifest (Open ignores them,
+    // but they are stale snapshots of the old matrix). Our stores number
+    // shards contiguously, so sweep from shard_count until a gap.
+    for (std::size_t i = shard_count; ; ++i) {
+      fs::path stale = fs::path(dir) / ShardFileName(i);
+      if (!fs::remove(stale, ignore)) break;
+    }
+  } catch (...) {
+    std::error_code ignore;
+    for (const std::string& file : files) {
+      fs::remove(staging_path(file), ignore);
+    }
+    // A directory this call created and never populated should not
+    // outlive the failure (remove() refuses non-empty directories, so a
+    // pre-existing or partially-foreign dir is never touched).
+    if (created_dir) fs::remove(dir, ignore);
+    throw;
+  }
   return manifest;
 }
 
@@ -62,14 +150,15 @@ MatrixSpec ParseInnerSpec(const std::string& inner_spec) {
 ShardManifest MatrixStore::Partition(const DenseMatrix& dense,
                                      const std::string& inner_spec,
                                      const ShardingPolicy& policy,
-                                     const std::string& dir) {
+                                     const std::string& dir,
+                                     const BuildContext& ctx) {
   MatrixSpec inner = ParseInnerSpec(inner_spec);
   std::size_t per_shard =
       policy.ResolveRowsPerShard(dense.rows(), dense.cols());
-  return WriteStore(dense.rows(), dense.cols(), per_shard, dir,
+  return WriteStore(dense.rows(), dense.cols(), per_shard, dir, ctx,
                     [&](std::size_t begin, std::size_t end) {
                       return AnyMatrix::Build(dense.RowSlice(begin, end),
-                                              inner);
+                                              inner, ctx);
                     });
 }
 
@@ -77,24 +166,37 @@ ShardManifest MatrixStore::Partition(std::size_t rows, std::size_t cols,
                                      std::vector<Triplet> entries,
                                      const std::string& inner_spec,
                                      const ShardingPolicy& policy,
-                                     const std::string& dir) {
+                                     const std::string& dir,
+                                     const BuildContext& ctx) {
   MatrixSpec inner = ParseInnerSpec(inner_spec);
   std::size_t per_shard = policy.ResolveRowsPerShard(rows, cols);
   std::vector<std::vector<Triplet>> buckets =
       BucketTripletsByShard(rows, per_shard, std::move(entries));
-  return WriteStore(rows, cols, per_shard, dir,
+  return WriteStore(rows, cols, per_shard, dir, ctx,
                     [&](std::size_t begin, std::size_t end) {
                       return AnyMatrix::Build(end - begin, cols,
                                               std::move(buckets[begin /
                                                                 per_shard]),
-                                              inner);
+                                              inner, ctx);
                     });
 }
 
 std::string MatrixStore::ManifestPath(const std::string& dir_or_manifest) {
   fs::path path(dir_or_manifest);
   std::error_code ec;
-  if (fs::is_directory(path, ec)) path /= kShardManifestFileName;
+  bool is_directory = fs::is_directory(path, ec);
+  // Nonexistence is not an error here -- the caller's manifest read
+  // reports a missing file with the usual cannot-open message. Anything
+  // else (EACCES on a parent, an I/O error) is a real filesystem failure
+  // that must not masquerade as "not a directory" and send the caller to
+  // a nonexistent manifest path.
+  if (ec == std::errc::no_such_file_or_directory ||
+      ec == std::errc::not_a_directory) {
+    ec.clear();
+  }
+  GCM_CHECK_MSG(!ec, "cannot inspect " << dir_or_manifest << ": "
+                                       << ec.message());
+  if (is_directory) path /= kShardManifestFileName;
   return path.string();
 }
 

@@ -43,18 +43,29 @@ class MatrixStore {
   /// Partitions `dense` into row-range shards built with `inner_spec`
   /// (any non-sharded engine spec) and writes shard snapshots plus the
   /// manifest into `dir` (created if absent). Returns the manifest.
+  ///
+  /// A BuildContext pool builds the shards concurrently; files are then
+  /// persisted in manifest order, so shard files and the manifest are
+  /// byte-identical to the sequential output. The write is atomic at the
+  /// directory level: every file lands under a temporary name and is
+  /// renamed only after all of them (manifest last) are complete, so a
+  /// failed Partition never leaves a directory Open would half-accept --
+  /// an existing store being overwritten stays intact on failure.
   static ShardManifest Partition(const DenseMatrix& dense,
                                  const std::string& inner_spec,
                                  const ShardingPolicy& policy,
-                                 const std::string& dir);
+                                 const std::string& dir,
+                                 const BuildContext& ctx = {});
 
   /// Dense-free producer path: triplets are bucketed per shard and each
-  /// bucket runs through the inner spec's own ingestion pipeline.
+  /// bucket runs through the inner spec's own ingestion pipeline. Same
+  /// parallelism, determinism and atomicity as the dense overload.
   static ShardManifest Partition(std::size_t rows, std::size_t cols,
                                  std::vector<Triplet> entries,
                                  const std::string& inner_spec,
                                  const ShardingPolicy& policy,
-                                 const std::string& dir);
+                                 const std::string& dir,
+                                 const BuildContext& ctx = {});
 
   /// Opens a store directory (or a manifest file path directly) as an
   /// engine matrix. kLazy reads shard files on first touch; kEager loads

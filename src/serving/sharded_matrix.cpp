@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <limits>
 #include <stdexcept>
 #include <utility>
 
@@ -243,7 +244,9 @@ void ShardedMatrix::MultiplyRightInto(std::span<const double> x,
   };
   if (ctx.pool != nullptr && states_.size() > 1) {
     // Shards are the parallel grain; shard kernels run sequentially inside
-    // their task (nesting ParallelFor would deadlock the pool).
+    // their task. Nested ParallelFor is safe (the worker helps drain its
+    // own range), but one task per shard already saturates the pool, so
+    // forwarding it inward would only add fan-out overhead.
     ctx.pool->ParallelFor(states_.size(),
                           [&](std::size_t i) { run_shard(i, MulContext{}); });
   } else {
@@ -345,20 +348,36 @@ MatrixSpec InnerSpecFromSharded(const MatrixSpec& spec) {
 }
 
 AnyMatrix BuildShardedFromSpec(const DenseMatrix& dense,
-                               const MatrixSpec& spec) {
+                               const MatrixSpec& spec,
+                               const BuildContext& ctx) {
   MatrixSpec inner = InnerSpecFromSharded(spec);
   std::size_t per_shard = ShardingPolicy::FromSpec(spec).ResolveRowsPerShard(
       dense.rows(), dense.cols());
-  std::vector<AnyMatrix> shards;
-  for (std::size_t begin = 0; begin < dense.rows(); begin += per_shard) {
+  std::size_t shard_count = (dense.rows() + per_shard - 1) / per_shard;
+  // Shards are independent builds over disjoint row slices; run them on
+  // the pool, forwarding ctx so a blocked inner spec can fan out too
+  // (ParallelFor is nesting-safe). Each task writes only its own slot, so
+  // the assembled matrix is identical to the sequential build.
+  std::vector<AnyMatrix> shards(shard_count);
+  MaybeParallelFor(ctx.pool, shard_count, [&](std::size_t i) {
+    std::size_t begin = i * per_shard;
     std::size_t end = std::min(dense.rows(), begin + per_shard);
-    shards.push_back(AnyMatrix::Build(dense.RowSlice(begin, end), inner));
-  }
+    shards[i] = AnyMatrix::Build(dense.RowSlice(begin, end), inner, ctx);
+  });
   return AnyMatrix(ShardedMatrix::FromShards(dense.cols(), std::move(shards)));
 }
 
 std::vector<std::vector<Triplet>> BucketTripletsByShard(
     std::size_t rows, std::size_t per_shard, std::vector<Triplet> entries) {
+  // The rebase below narrows shard-local rows to the u32 index space of
+  // Triplet::row; a shard taller than that space would alias rows
+  // silently, so oversized shards are rejected here by name.
+  GCM_CHECK_MSG(per_shard <= std::numeric_limits<u32>::max(),
+                "rows_per_shard " << per_shard
+                                  << " exceeds the u32 row index space of a "
+                                     "shard ("
+                                  << std::numeric_limits<u32>::max()
+                                  << "); use more shards");
   std::size_t shard_count = (rows + per_shard - 1) / per_shard;
   std::vector<std::vector<Triplet>> buckets(shard_count);
   for (const Triplet& t : entries) {
@@ -375,20 +394,23 @@ std::vector<std::vector<Triplet>> BucketTripletsByShard(
 
 AnyMatrix BuildShardedFromTriplets(std::size_t rows, std::size_t cols,
                                    std::vector<Triplet> entries,
-                                   const MatrixSpec& spec) {
+                                   const MatrixSpec& spec,
+                                   const BuildContext& ctx) {
   MatrixSpec inner = InnerSpecFromSharded(spec);
   std::size_t per_shard =
       ShardingPolicy::FromSpec(spec).ResolveRowsPerShard(rows, cols);
   std::vector<std::vector<Triplet>> buckets =
       BucketTripletsByShard(rows, per_shard, std::move(entries));
-  std::vector<AnyMatrix> shards;
-  shards.reserve(buckets.size());
-  for (std::size_t i = 0; i < buckets.size(); ++i) {
+  // Each task consumes its own bucket and writes its own slot (the buckets
+  // are disjoint by construction), so the shard builds parallelize without
+  // any synchronization beyond the ParallelFor barrier.
+  std::vector<AnyMatrix> shards(buckets.size());
+  MaybeParallelFor(ctx.pool, buckets.size(), [&](std::size_t i) {
     std::size_t begin = i * per_shard;
     std::size_t shard_rows = std::min(rows - begin, per_shard);
-    shards.push_back(
-        AnyMatrix::Build(shard_rows, cols, std::move(buckets[i]), inner));
-  }
+    shards[i] =
+        AnyMatrix::Build(shard_rows, cols, std::move(buckets[i]), inner, ctx);
+  });
   return AnyMatrix(ShardedMatrix::FromShards(cols, std::move(shards)));
 }
 

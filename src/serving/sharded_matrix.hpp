@@ -181,15 +181,21 @@ std::vector<std::vector<Triplet>> BucketTripletsByShard(
 MatrixSpec InnerSpecFromSharded(const MatrixSpec& spec);
 
 /// Builds an in-memory sharded matrix per the spec's inner spec and
-/// sharding policy (row slices of `dense`).
+/// sharding policy (row slices of `dense`). Shard builds are independent,
+/// so a BuildContext pool runs them concurrently; the context is also
+/// forwarded into each inner build (nested fan-out is safe and the result
+/// is identical either way).
 AnyMatrix BuildShardedFromSpec(const DenseMatrix& dense,
-                               const MatrixSpec& spec);
+                               const MatrixSpec& spec,
+                               const BuildContext& ctx);
 
 /// Dense-free ingestion: triplets are bucketed by row range and each
-/// bucket feeds the inner spec's own triplet pipeline.
+/// bucket feeds the inner spec's own triplet pipeline (shard-parallel on
+/// the BuildContext pool, like BuildShardedFromSpec).
 AnyMatrix BuildShardedFromTriplets(std::size_t rows, std::size_t cols,
                                    std::vector<Triplet> entries,
-                                   const MatrixSpec& spec);
+                                   const MatrixSpec& spec,
+                                   const BuildContext& ctx);
 
 /// Restores a sharded matrix from a snapshot: the single-file form loads
 /// its embedded shard sections; a store manifest resolves shard files

@@ -1,9 +1,74 @@
 #include "util/thread_pool.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <condition_variable>
 #include <exception>
+#include <memory>
+#include <mutex>
 
 namespace gcm {
+namespace {
+
+/// The pool whose WorkerLoop is running on this thread (nullptr on
+/// non-worker threads). Lets ParallelFor tell a nested call apart from a
+/// top-level one.
+thread_local const ThreadPool* tls_worker_pool = nullptr;
+
+/// Shared state of one ParallelFor call. Helper tasks hold it by
+/// shared_ptr: a helper scheduled after the loop already finished (every
+/// index claimed and completed, caller gone) sees next >= count and
+/// returns without touching the caller's frame.
+struct ParallelForState {
+  ParallelForState(std::size_t count_in,
+                   const std::function<void(std::size_t)>& fn_in)
+      : count(count_in), fn(&fn_in) {}
+
+  const std::size_t count;
+  /// Owned by the caller's frame; only dereferenced for a successfully
+  /// claimed index, and every index is claimed AND finished before the
+  /// caller returns, so late helpers never reach it.
+  const std::function<void(std::size_t)>* const fn;
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};  ///< fail-fast flag, set on first error
+
+  std::mutex mu;
+  std::condition_variable all_done;
+  std::size_t finished = 0;  ///< guarded by mu
+  std::exception_ptr first_error;
+
+  /// Claims and accounts indices until the range is exhausted. Exceptions
+  /// are recorded (first wins) and the iteration still counts as
+  /// finished, so the caller's completion wait cannot hang on a throwing
+  /// body. After a failure, iterations already running elsewhere complete
+  /// normally, but indices not yet claimed are accounted without running
+  /// fn -- a build that fails on its first shard must not pay for the
+  /// other 99 before the exception propagates.
+  void Drain() {
+    for (;;) {
+      std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      std::exception_ptr error;
+      if (!failed.load(std::memory_order_relaxed)) {
+        try {
+          (*fn)(i);
+        } catch (...) {
+          error = std::current_exception();
+          failed.store(true, std::memory_order_relaxed);
+        }
+      }
+      bool last;
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        if (error && !first_error) first_error = error;
+        last = ++finished == count;
+      }
+      if (last) all_done.notify_all();
+    }
+  }
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -25,7 +90,10 @@ ThreadPool::~ThreadPool() {
   for (auto& worker : workers_) worker.join();
 }
 
+bool ThreadPool::OnWorkerThread() const { return tls_worker_pool == this; }
+
 void ThreadPool::WorkerLoop() {
+  tls_worker_pool = this;
   for (;;) {
     std::function<void()> task;
     {
@@ -46,31 +114,41 @@ void ThreadPool::ParallelFor(std::size_t count,
     fn(0);
     return;
   }
-  // One task per index: blocks in the matrix kernels are coarse (a full row
-  // block each), so per-task overhead is negligible and work stealing is not
-  // needed.
-  std::atomic<std::size_t> next{0};
-  std::exception_ptr first_error = nullptr;
-  std::mutex error_mutex;
-  std::vector<std::future<void>> futures;
-  std::size_t lanes = std::min(count, workers_.size());
-  futures.reserve(lanes);
-  for (std::size_t lane = 0; lane < lanes; ++lane) {
-    futures.push_back(Submit([&] {
-      for (;;) {
-        std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= count) return;
-        try {
-          fn(i);
-        } catch (...) {
-          std::lock_guard<std::mutex> lock(error_mutex);
-          if (!first_error) first_error = std::current_exception();
-        }
-      }
-    }));
+  // One shared claim counter per call: blocks / shards are coarse work
+  // units, so per-index claim overhead is negligible and work stealing is
+  // not needed.
+  //
+  // Nesting safety: the caller never waits on the task queue. It submits
+  // fire-and-forget helpers, drains the range inline alongside them, then
+  // waits only for iterations that were CLAIMED -- and a claimed iteration
+  // is by definition being executed by a live thread, so the wait cannot
+  // depend on queue progress. A caller that is itself a pool worker (a
+  // nested call) therefore completes even when every other worker is
+  // blocked the same way; in the degenerate 1-thread nested case the
+  // caller simply runs the whole range itself and the queued helpers
+  // no-op later.
+  auto state = std::make_shared<ParallelForState>(count, fn);
+  std::size_t free_workers = workers_.size() - (OnWorkerThread() ? 1 : 0);
+  std::size_t helpers = std::min(count - 1, free_workers);
+  // If a Submit throws (allocation failure), already-queued helpers are
+  // live against the caller's frame -- the caller must still drain and
+  // wait for every claimed iteration before the frame unwinds. The failure
+  // is compensated, not fatal: the caller's own drain completes the range,
+  // so the postcondition (every fn(i) ran) holds with less parallelism.
+  for (std::size_t h = 0; h < helpers; ++h) {
+    try {
+      Submit([state] { state->Drain(); });
+    } catch (...) {
+      break;
+    }
   }
-  for (auto& f : futures) f.wait();
-  if (first_error) std::rethrow_exception(first_error);
+  state->Drain();
+  {
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->all_done.wait(lock,
+                         [&] { return state->finished == state->count; });
+  }
+  if (state->first_error) std::rethrow_exception(state->first_error);
 }
 
 }  // namespace gcm

@@ -10,6 +10,7 @@
 #include <cstddef>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
@@ -28,6 +29,10 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
+  /// True when the calling thread is one of THIS pool's workers. Useful to
+  /// decide how much extra parallelism to ask for from inside a task.
+  bool OnWorkerThread() const;
+
   /// Enqueue a task; returns a future for its completion.
   template <typename F>
   std::future<void> Submit(F&& fn) {
@@ -43,8 +48,16 @@ class ThreadPool {
   }
 
   /// Runs fn(i) for i in [0, count), distributing across the pool, and
-  /// blocks until all invocations have finished. Exceptions from tasks are
-  /// rethrown (the first one encountered).
+  /// returns when all invocations have finished. Exceptions from tasks
+  /// are rethrown (the first one encountered); after a failure,
+  /// iterations already in flight complete but not-yet-started ones are
+  /// skipped, so a large range fails fast instead of finishing work whose
+  /// result will be discarded.
+  ///
+  /// Safe to call from a pool worker: the caller always helps drain the
+  /// iteration range inline instead of parking on a queue slot, so nested
+  /// ParallelFor calls (a task that itself fans out, e.g. a sharded build
+  /// whose inner spec is blocked) complete even on a 1-thread pool.
   void ParallelFor(std::size_t count, const std::function<void(std::size_t)>& fn);
 
  private:
@@ -56,5 +69,29 @@ class ThreadPool {
   std::condition_variable cv_;
   bool stop_ = false;
 };
+
+/// ParallelFor with a nullable pool: the shared dispatch of every
+/// pool-optional fan-out (block builds, shard builds, store writes). Runs
+/// fn(i) for i in [0, count) on `pool` when one is given and the range has
+/// more than one index, sequentially otherwise; either way all iterations
+/// have finished when it returns.
+inline void MaybeParallelFor(ThreadPool* pool, std::size_t count,
+                             const std::function<void(std::size_t)>& fn) {
+  if (pool != nullptr && count > 1) {
+    pool->ParallelFor(count, fn);
+  } else {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+  }
+}
+
+/// The shared policy behind every thread-count CLI flag (--build-threads
+/// and friends): 1 means sequential (no pool at all), 0 means one worker
+/// per hardware thread, anything else that many workers. Returns nullptr
+/// for the sequential case so the result plugs straight into a
+/// BuildContext / MulContext pool pointer.
+inline std::unique_ptr<ThreadPool> MakePoolForThreads(std::size_t threads) {
+  if (threads == 1) return nullptr;
+  return std::make_unique<ThreadPool>(threads);
+}
 
 }  // namespace gcm
