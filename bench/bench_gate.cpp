@@ -3,7 +3,7 @@
 // metric regressed by more than a generous ratio (CI machines are noisy;
 // the gate is meant to catch real regressions, not jitter).
 //
-//   $ ./bench_gate --baseline prev/bench_report.csv \
+//   $ ./bench_gate --baseline prev/bench_report.csv
 //                  --current  report/bench_report.csv --max-ratio 2.5
 //   $ ./bench_gate --baseline prev/micro.csv --current micro.csv
 //   $ ./bench_gate --self-test          # exercises the gate logic itself

@@ -58,7 +58,8 @@ void BM_RePairCompress(benchmark::State& state) {
         csrv.sequence(), static_cast<u32>(alphabet), config);
     benchmark::DoNotOptimize(result.final_sequence.data());
   }
-  state.SetItemsProcessed(state.iterations() * csrv.sequence().size());
+  state.SetItemsProcessed(
+      state.iterations() * static_cast<benchmark::IterationCount>(csrv.sequence().size()));
 }
 BENCHMARK(BM_RePairCompress)->Unit(benchmark::kMillisecond);
 
@@ -70,7 +71,8 @@ void BM_RansEncode(benchmark::State& state) {
     RansStream stream = RansEncode(symbols);
     benchmark::DoNotOptimize(stream.chunks.data());
   }
-  state.SetItemsProcessed(state.iterations() * symbols.size());
+  state.SetItemsProcessed(
+      state.iterations() * static_cast<benchmark::IterationCount>(symbols.size()));
 }
 BENCHMARK(BM_RansEncode)->Unit(benchmark::kMillisecond);
 
@@ -84,7 +86,8 @@ void BM_RansDecode(benchmark::State& state) {
     std::vector<u32> out = decoder.DecodeAll();
     benchmark::DoNotOptimize(out.data());
   }
-  state.SetItemsProcessed(state.iterations() * symbols.size());
+  state.SetItemsProcessed(
+      state.iterations() * static_cast<benchmark::IterationCount>(symbols.size()));
 }
 BENCHMARK(BM_RansDecode)->Unit(benchmark::kMillisecond);
 
@@ -99,7 +102,8 @@ void BM_IntVectorAccess(benchmark::State& state) {
     for (std::size_t i = 0; i < packed.size(); ++i) sum += packed.Get(i);
     benchmark::DoNotOptimize(sum);
   }
-  state.SetItemsProcessed(state.iterations() * packed.size());
+  state.SetItemsProcessed(
+      state.iterations() * static_cast<benchmark::IterationCount>(packed.size()));
 }
 BENCHMARK(BM_IntVectorAccess);
 
@@ -112,7 +116,8 @@ void BM_PlainVectorAccess(benchmark::State& state) {
     for (u32 v : plain) sum += v;
     benchmark::DoNotOptimize(sum);
   }
-  state.SetItemsProcessed(state.iterations() * plain.size());
+  state.SetItemsProcessed(
+      state.iterations() * static_cast<benchmark::IterationCount>(plain.size()));
 }
 BENCHMARK(BM_PlainVectorAccess);
 
@@ -208,7 +213,8 @@ void ShardedMvmRight(benchmark::State& state, bool pooled) {
     sharded.MultiplyRightInto(x, y, ctx);
     benchmark::DoNotOptimize(y.data());
   }
-  state.SetItemsProcessed(state.iterations() * sharded.rows());
+  state.SetItemsProcessed(
+      state.iterations() * static_cast<benchmark::IterationCount>(sharded.rows()));
 }
 
 void BM_ShardedMvmRightSequential(benchmark::State& state) {
@@ -242,7 +248,8 @@ void BlockedGcBuild(benchmark::State& state, std::size_t threads) {
         BlockedGcMatrix::Build(m, kBlocks, {GcFormat::kRe32, 12, 0}, {}, ctx);
     benchmark::DoNotOptimize(built.CompressedBytes());
   }
-  state.SetItemsProcessed(state.iterations() * kBlocks);
+  state.SetItemsProcessed(
+      state.iterations() * static_cast<benchmark::IterationCount>(kBlocks));
 }
 
 void BM_BlockedGcBuildSequential(benchmark::State& state) {

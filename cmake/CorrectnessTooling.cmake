@@ -1,0 +1,71 @@
+# Correctness tooling knobs: sanitizer instrumentation and warnings-as-errors.
+#
+#   GCM_SANITIZE  "" | address | undefined | thread | address,undefined
+#       Instruments EVERYTHING configured after this module is included --
+#       the gcm library, tests, examples, benches, and an in-tree GTest
+#       build. Global application matters: mixing instrumented and
+#       uninstrumented translation units makes TSan blind to races across
+#       the boundary and makes ASan miss interceptions.
+#
+#   GCM_WERROR    OFF | ON
+#       Compiles first-party targets with the full warning set as errors.
+#       Applied per-target via gcm_apply_warnings() rather than globally so
+#       third-party code (GTest, google-benchmark) is never -Werror'd --
+#       their warnings are not ours to fix.
+#
+# Both knobs are honored by the checked-in CMakePresets.json (asan-ubsan,
+# tsan, werror).
+
+set(GCM_SANITIZE "" CACHE STRING
+  "Sanitizers to enable: address, undefined, thread, or address,undefined")
+option(GCM_WERROR "Treat first-party compiler warnings as errors" OFF)
+
+if(GCM_SANITIZE)
+  set(_gcm_known_sanitize
+    "address" "undefined" "thread" "address,undefined" "undefined,address")
+  if(NOT GCM_SANITIZE IN_LIST _gcm_known_sanitize)
+    message(FATAL_ERROR
+      "GCM_SANITIZE=${GCM_SANITIZE} is not supported; use address, "
+      "undefined, thread, or address,undefined (thread cannot be combined "
+      "with address -- the runtimes conflict)")
+  endif()
+
+  if(NOT (CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang"))
+    message(FATAL_ERROR
+      "GCM_SANITIZE requires GCC or Clang (got ${CMAKE_CXX_COMPILER_ID})")
+  endif()
+
+  # -fno-omit-frame-pointer keeps sanitizer stack traces walkable; -g makes
+  # them symbolized even when the chosen build type strips debug info.
+  add_compile_options(
+    -fsanitize=${GCM_SANITIZE} -fno-omit-frame-pointer -g)
+  add_link_options(-fsanitize=${GCM_SANITIZE})
+
+  # UBSan alone defines no feature macro, so check.hpp cannot detect it the
+  # way it detects ASan/TSan; force the DCHECK layer on explicitly for every
+  # sanitizer config. Invariant violations should die under the sanitizer
+  # run even when the build type defines NDEBUG.
+  add_compile_definitions(GCM_FORCE_DCHECKS=1)
+
+  message(STATUS "gcm: sanitizers enabled (-fsanitize=${GCM_SANITIZE})")
+endif()
+
+# First-party warning contract. The list is the strictest set the codebase
+# is kept clean against; gcm_apply_warnings(target) opts a target in. When
+# GCM_WERROR is OFF the interface target is empty and linking it is a no-op,
+# so call sites stay unconditional.
+add_library(gcm_warnings INTERFACE)
+if(GCM_WERROR)
+  if(CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+    target_compile_options(gcm_warnings INTERFACE
+      -Wall -Wextra -Wshadow -Wconversion -Wsign-conversion
+      -Wnon-virtual-dtor -Wunused -Werror)
+  elseif(MSVC)
+    target_compile_options(gcm_warnings INTERFACE /W4 /WX)
+  endif()
+  message(STATUS "gcm: warnings-as-errors enabled for first-party targets")
+endif()
+
+function(gcm_apply_warnings target)
+  target_link_libraries(${target} PRIVATE gcm_warnings)
+endfunction()

@@ -162,9 +162,10 @@ ClaMatrix ClaMatrix::Compress(const DenseMatrix& dense,
     double scale = static_cast<double>(dense.rows()) /
                    static_cast<double>(sample);
     GroupStats scaled = stats;
-    scaled.nonzero_rows =
-        static_cast<std::size_t>(stats.nonzero_rows * scale);
-    scaled.runs = static_cast<std::size_t>(stats.runs * scale);
+    scaled.nonzero_rows = static_cast<std::size_t>(
+        static_cast<double>(stats.nonzero_rows) * scale);
+    scaled.runs =
+        static_cast<std::size_t>(static_cast<double>(stats.runs) * scale);
     return EstimateSizes(scaled, columns.size(), dense.rows()).Best();
   };
   for (u32 c = 0; c < dense.cols(); ++c) {

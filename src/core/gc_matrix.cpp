@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/check.hpp"
 #include "util/enum_names.hpp"
 #include "util/thread_pool.hpp"
 
@@ -138,12 +139,14 @@ u64 GcMatrix::PayloadBytes() const {
 }
 
 inline u32 GcMatrix::RuleLeft(std::size_t i) const {
+  GCM_DCHECK_BOUNDS(i, rule_count_);
   return format_ == GcFormat::kRe32
              ? r_plain_[2 * i]
              : static_cast<u32>(r_packed_.Get(2 * i));
 }
 
 inline u32 GcMatrix::RuleRight(std::size_t i) const {
+  GCM_DCHECK_BOUNDS(i, rule_count_);
   return format_ == GcFormat::kRe32
              ? r_plain_[2 * i + 1]
              : static_cast<u32>(r_packed_.Get(2 * i + 1));
@@ -239,9 +242,16 @@ void GcMatrix::MultiplyRightInto(std::span<const double> x,
   // may reference earlier rules, so this pass stays sequential.
   std::vector<double> w(rule_count_, 0.0);
   auto eval = [&](u32 symbol) -> double {
-    if (symbol >= alphabet_size_) return w[symbol - alphabet_size_];
+    if (symbol >= alphabet_size_) {
+      // Load-time validation bounds every stored symbol to the declared
+      // rule range; asserted per expansion because a stale index here is a
+      // silent out-of-bounds read on the hot path.
+      GCM_DCHECK_BOUNDS(symbol - alphabet_size_, rule_count_);
+      return w[symbol - alphabet_size_];
+    }
     if (symbol == kCsrvSentinel) return 0.0;  // never occurs inside rules
     u32 packed = symbol - 1;
+    GCM_DCHECK_BOUNDS(packed / cols, dict.size());
     return dict[packed / cols] * x[packed % cols];
   };
   for (std::size_t i = 0; i < rule_count_; ++i) {
@@ -296,9 +306,11 @@ void GcMatrix::ParallelRightScan(std::span<const double> x,
       u32 symbol = FinalSymbolAt(i);
       if (symbol != kCsrvSentinel) {
         if (symbol >= alphabet_size_) {
+          GCM_DCHECK_BOUNDS(symbol - alphabet_size_, w.size());
           acc += w[symbol - alphabet_size_];
         } else {
           u32 packed = symbol - 1;
+          GCM_DCHECK_BOUNDS(packed / cols, dict.size());
           acc += dict[packed / cols] * x[packed % cols];
         }
         continue;
@@ -358,9 +370,13 @@ void GcMatrix::MultiplyLeftInto(std::span<const double> y,
         return;
       }
       if (symbol >= alphabet_size_) {
+        GCM_DCHECK_BOUNDS(symbol - alphabet_size_, w.size());
+        GCM_DCHECK_BOUNDS(row, rows_);
         w[symbol - alphabet_size_] += y[row];
       } else {
         u32 packed = symbol - 1;
+        GCM_DCHECK_BOUNDS(packed / cols, dict.size());
+        GCM_DCHECK_BOUNDS(row, rows_);
         x[packed % cols] += y[row] * dict[packed / cols];
       }
     });
@@ -375,9 +391,12 @@ void GcMatrix::MultiplyLeftInto(std::span<const double> y,
     if (weight == 0.0) continue;
     for (u32 symbol : {RuleLeft(j), RuleRight(j)}) {
       if (symbol >= alphabet_size_) {
+        // Topological order: rule sides reference strictly earlier rules.
+        GCM_DCHECK_BOUNDS(symbol - alphabet_size_, j);
         w[symbol - alphabet_size_] += weight;
       } else {
         u32 packed = symbol - 1;
+        GCM_DCHECK_BOUNDS(packed / cols, dict.size());
         x[packed % cols] += dict[packed / cols] * weight;
       }
     }
@@ -413,9 +432,13 @@ void GcMatrix::ParallelLeftScan(std::span<const double> y,
         continue;
       }
       if (symbol >= alphabet_size_) {
+        GCM_DCHECK_BOUNDS(symbol - alphabet_size_, local_w.size());
+        GCM_DCHECK_BOUNDS(row, rows_);
         local_w[symbol - alphabet_size_] += y[row];
       } else {
         u32 packed = symbol - 1;
+        GCM_DCHECK_BOUNDS(packed / cols, dict.size());
+        GCM_DCHECK_BOUNDS(row, rows_);
         local_x[packed % cols] += y[row] * dict[packed / cols];
       }
     }
@@ -461,6 +484,7 @@ void GcMatrix::MultiplyRightMultiRange(const DenseMatrix& x, DenseMatrix* y,
   std::vector<double> acc(kb, 0.0);
   auto add_symbol = [&](u32 symbol, double* out) {
     if (symbol >= alphabet_size_) {
+      GCM_DCHECK_BOUNDS(symbol - alphabet_size_, rule_count_);
       const double* row = w.data() + static_cast<std::size_t>(
                                          symbol - alphabet_size_) * kb;
       for (std::size_t t = 0; t < kb; ++t) out[t] += row[t];
@@ -468,6 +492,7 @@ void GcMatrix::MultiplyRightMultiRange(const DenseMatrix& x, DenseMatrix* y,
     }
     if (symbol == kCsrvSentinel) return;
     u32 packed = symbol - 1;
+    GCM_DCHECK_BOUNDS(packed / cols, dict.size());
     double value = dict[packed / cols];
     const double* x_row = x.data().data() +
                           static_cast<std::size_t>(packed % cols) * k + t0;
@@ -517,11 +542,13 @@ void GcMatrix::MultiplyLeftMultiRange(const DenseMatrix& x, DenseMatrix* out,
   std::size_t row = 0;
   auto scatter = [&](u32 symbol, const double* weights) {
     if (symbol >= alphabet_size_) {
+      GCM_DCHECK_BOUNDS(symbol - alphabet_size_, rule_count_);
       double* dest = w.data() + static_cast<std::size_t>(
                                     symbol - alphabet_size_) * kb;
       for (std::size_t t = 0; t < kb; ++t) dest[t] += weights[t];
     } else {
       u32 packed = symbol - 1;
+      GCM_DCHECK_BOUNDS(packed / cols, dict.size());
       double value = dict[packed / cols];
       u32 column = packed % cols;
       for (std::size_t t = 0; t < kb; ++t) {

@@ -52,7 +52,9 @@ inline PowerIterationResult RunPowerIteration(const AnyMatrix& matrix,
   }
   result.seconds_total = timer.Seconds();
   result.seconds_per_iteration =
-      iterations == 0 ? 0.0 : result.seconds_total / iterations;
+      iterations == 0
+          ? 0.0
+          : result.seconds_total / static_cast<double>(iterations);
   result.peak_heap_bytes = MemoryTracker::PeakBytes();
   result.x = std::move(x);
   return result;

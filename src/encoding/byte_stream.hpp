@@ -10,6 +10,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "util/check.hpp"
 #include "util/common.hpp"
 
 namespace gcm {
@@ -34,6 +35,9 @@ class ByteWriter {
   }
 
   void PutBytes(const void* data, std::size_t size) {
+    // An empty vector's data() is null and memcpy's pointer arguments are
+    // declared nonnull, so a zero-byte append must not reach it (UBSan).
+    if (size == 0) return;
     std::size_t offset = buffer_.size();
     buffer_.resize(offset + size);
     std::memcpy(buffer_.data() + offset, data, size);
@@ -72,6 +76,7 @@ class ByteReader {
     T value;
     std::memcpy(&value, data_ + pos_, sizeof(T));
     pos_ += sizeof(T);
+    GCM_DCHECK(pos_ <= size_);
     return value;
   }
 
@@ -89,9 +94,12 @@ class ByteReader {
   }
 
   void GetBytes(void* out, std::size_t size) {
+    // `out` may be an empty vector's null data(); see PutBytes.
+    if (size == 0) return;
     Require(size);
     std::memcpy(out, data_ + pos_, size);
     pos_ += size;
+    GCM_DCHECK(pos_ <= size_);
   }
 
   template <typename T>
@@ -117,14 +125,22 @@ class ByteReader {
   void Skip(std::size_t size) {
     Require(size);
     pos_ += size;
+    GCM_DCHECK(pos_ <= size_);
   }
 
   std::size_t pos() const { return pos_; }
-  std::size_t Remaining() const { return size_ - pos_; }
+  std::size_t Remaining() const {
+    GCM_DCHECK_MSG(pos_ <= size_, "ByteReader cursor past end: pos "
+                                      << pos_ << " of " << size_);
+    return size_ - pos_;
+  }
   bool AtEnd() const { return pos_ == size_; }
 
  private:
   void Require(std::size_t bytes) {
+    // The cursor never overruns the buffer (every advance re-checks), so
+    // size_ - pos_ cannot wrap below.
+    GCM_DCHECK(pos_ <= size_);
     GCM_CHECK_MSG(bytes <= size_ - pos_,
                   "truncated stream: need " << bytes << " bytes at offset "
                                             << pos_ << " of " << size_);

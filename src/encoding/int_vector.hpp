@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "encoding/bit_ops.hpp"
+#include "util/check.hpp"
 #include "util/common.hpp"
 
 namespace gcm {
@@ -49,14 +50,18 @@ class IntVector {
     words_.clear();
   }
 
-  /// Reads entry i. Bounds-checked in debug builds only (hot path).
+  /// Reads entry i. Bounds-checked in debug/sanitizer builds only (hot
+  /// path): an out-of-range index in Release is UB, so the DCHECK tier is
+  /// exactly where this contract belongs.
   u64 Get(std::size_t i) const {
-    GCM_ASSERT(i < size_);
+    GCM_DCHECK_BOUNDS(i, size_);
     u64 bit = static_cast<u64>(i) * width_;
     std::size_t word = bit >> 6;
     u32 offset = bit & 63;
+    GCM_DCHECK_BOUNDS(word, words_.size());
     u64 value = words_[word] >> offset;
     if (offset + width_ > 64) {
+      GCM_DCHECK_BOUNDS(word + 1, words_.size());
       value |= words_[word + 1] << (64 - offset);
     }
     return value & LowMask(width_);
@@ -64,14 +69,18 @@ class IntVector {
 
   /// Writes entry i. `value` must fit in width() bits.
   void Set(std::size_t i, u64 value) {
-    GCM_ASSERT(i < size_);
-    GCM_ASSERT((value & ~LowMask(width_)) == 0);
+    GCM_DCHECK_BOUNDS(i, size_);
+    GCM_DCHECK_MSG((value & ~LowMask(width_)) == 0,
+                   "value " << value << " does not fit in " << width_
+                            << " bits");
     u64 bit = static_cast<u64>(i) * width_;
     std::size_t word = bit >> 6;
     u32 offset = bit & 63;
+    GCM_DCHECK_BOUNDS(word, words_.size());
     words_[word] =
         (words_[word] & ~(LowMask(width_) << offset)) | (value << offset);
     if (offset + width_ > 64) {
+      GCM_DCHECK_BOUNDS(word + 1, words_.size());
       u32 spill = offset + width_ - 64;
       words_[word + 1] =
           (words_[word + 1] & ~LowMask(spill)) | (value >> (64 - offset));

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "encoding/bit_ops.hpp"
+#include "util/check.hpp"
 
 namespace gcm {
 namespace {
@@ -74,7 +75,7 @@ std::vector<u16> NormalizeFreqs(const std::vector<u64>& counts, u64 total) {
 class RansEncoderState {
  public:
   void PushSlot(u32 freq, u32 cum) {
-    GCM_ASSERT(freq > 0);
+    GCM_DCHECK_MSG(freq > 0, "cannot encode a zero-frequency slot");
     u64 x_max = ((kRansL >> kScaleBits) << 32) * freq;
     while (state_ >= x_max) EmitChunk();
     state_ = (state_ / freq) * kScale + cum + state_ % freq;
@@ -82,7 +83,7 @@ class RansEncoderState {
 
   void PushRawBits(u32 payload, u32 width) {
     if (width == 0) return;
-    GCM_ASSERT(width <= 31);
+    GCM_DCHECK_MSG(width <= 31, "raw-bit width " << width << " exceeds 31");
     u64 x_max = (kRansL >> width) << 32;
     while (state_ >= x_max) EmitChunk();
     state_ = (state_ << width) | payload;
@@ -119,8 +120,9 @@ u64 RansStream::SizeInBytes() const {
 void RansStream::Serialize(ByteWriter* writer) const {
   writer->Put<u8>(static_cast<u8>(fold_bits));
   writer->PutVarint(symbol_count);
-  u64 nonzero = std::count_if(freqs.begin(), freqs.end(),
-                              [](u16 f) { return f != 0; });
+  // count_if returns a signed ptrdiff_t; the count is non-negative.
+  u64 nonzero = static_cast<u64>(std::count_if(
+      freqs.begin(), freqs.end(), [](u16 f) { return f != 0; }));
   writer->PutVarint(freqs.size());
   writer->PutVarint(nonzero);
   for (std::size_t s = 0; s < freqs.size(); ++s) {
@@ -221,8 +223,19 @@ u32 RansDecoder::Next() {
   GCM_CHECK_MSG(remaining_ > 0, "rANS stream exhausted");
   --remaining_;
   u32 pos = static_cast<u32>(state_ & (kScale - 1));
+  // The mask bounds pos to [0, kScale); slot_of_pos_ has exactly kScale
+  // entries whenever symbols remain (built in the constructor), and every
+  // slot id it holds indexes the freqs/cum tables.
+  GCM_DCHECK_BOUNDS(pos, slot_of_pos_.size());
   u32 slot = slot_of_pos_[pos];
+  GCM_DCHECK_BOUNDS(slot, stream_.freqs.size());
+  GCM_DCHECK_BOUNDS(slot, cum_.size());
   u32 freq = stream_.freqs[slot];
+  GCM_DCHECK_MSG(freq > 0, "decoded slot " << slot << " has zero frequency");
+  GCM_DCHECK_MSG(pos >= cum_[slot],
+                 "rANS state position " << pos
+                                        << " below the slot's cumulative base "
+                                        << cum_[slot]);
   state_ = static_cast<u64>(freq) * (state_ >> kScaleBits) + pos - cum_[slot];
   while (state_ < kRansL && chunk_pos_ < stream_.chunks.size()) {
     state_ = (state_ << 32) | ReadChunk();

@@ -6,6 +6,10 @@ std::vector<u64> Slp::ExpansionLengths() const {
   std::vector<u64> lengths(rules_.size());
   for (std::size_t i = 0; i < rules_.size(); ++i) {
     const SlpRule& rule = rules_[i];
+    // Topological order: each side references a strictly earlier rule, so
+    // the lengths read below are already final.
+    GCM_DCHECK(IsTerminal(rule.left) || RuleIndex(rule.left) < i);
+    GCM_DCHECK(IsTerminal(rule.right) || RuleIndex(rule.right) < i);
     u64 left = IsTerminal(rule.left) ? 1 : lengths[RuleIndex(rule.left)];
     u64 right = IsTerminal(rule.right) ? 1 : lengths[RuleIndex(rule.right)];
     lengths[i] = left + right;

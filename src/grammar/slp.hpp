@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "encoding/byte_stream.hpp"
+#include "util/check.hpp"
 #include "util/common.hpp"
 
 namespace gcm {
@@ -45,11 +46,17 @@ class Slp {
 
   /// Index of the rule defining `symbol` (which must be a nonterminal).
   u32 RuleIndex(u32 symbol) const {
-    GCM_ASSERT(!IsTerminal(symbol));
+    GCM_DCHECK_MSG(!IsTerminal(symbol),
+                   "symbol " << symbol << " is a terminal (alphabet "
+                             << alphabet_size_ << "), not a rule");
     return symbol - alphabet_size_;
   }
 
-  const SlpRule& RuleFor(u32 symbol) const { return rules_[RuleIndex(symbol)]; }
+  const SlpRule& RuleFor(u32 symbol) const {
+    u32 index = RuleIndex(symbol);
+    GCM_DCHECK_BOUNDS(index, rules_.size());
+    return rules_[index];
+  }
 
   /// Appends a rule; returns the new nonterminal's symbol id. Both sides
   /// must already be valid symbols (enforces topological order).

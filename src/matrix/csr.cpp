@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "encoding/byte_stream.hpp"
+#include "util/check.hpp"
 
 namespace gcm {
 
@@ -76,9 +77,15 @@ void CsrMatrix::MultiplyRightInto(std::span<const double> x,
                                   std::span<double> y) const {
   GCM_CHECK(x.size() == cols_);
   GCM_CHECK(y.size() == rows_);
+  // FromParts/FromDense guarantee monotone offsets ending at nz_.size()
+  // and in-range column ids; the row walk re-asserts both in debug builds
+  // because an out-of-contract offset here is silent UB.
+  GCM_DCHECK(first_.size() == rows_ + 1);
   for (std::size_t r = 0; r < rows_; ++r) {
     double acc = 0.0;
+    GCM_DCHECK(first_[r + 1] <= nz_.size());
     for (u32 k = first_[r]; k < first_[r + 1]; ++k) {
+      GCM_DCHECK_BOUNDS(idx_[k], cols_);
       acc += nz_[k] * x[idx_[k]];
     }
     y[r] = acc;
@@ -89,11 +96,14 @@ void CsrMatrix::MultiplyLeftInto(std::span<const double> y,
                                  std::span<double> x) const {
   GCM_CHECK(y.size() == rows_);
   GCM_CHECK(x.size() == cols_);
+  GCM_DCHECK(first_.size() == rows_ + 1);
   std::fill(x.begin(), x.end(), 0.0);
   for (std::size_t r = 0; r < rows_; ++r) {
     double scale = y[r];
     if (scale == 0.0) continue;
+    GCM_DCHECK(first_[r + 1] <= nz_.size());
     for (u32 k = first_[r]; k < first_[r + 1]; ++k) {
+      GCM_DCHECK_BOUNDS(idx_[k], cols_);
       x[idx_[k]] += scale * nz_[k];
     }
   }
@@ -149,9 +159,13 @@ void CsrIvMatrix::MultiplyRightInto(std::span<const double> x,
                                     std::span<double> y) const {
   GCM_CHECK(x.size() == cols_);
   GCM_CHECK(y.size() == rows_);
+  GCM_DCHECK(first_.size() == rows_ + 1);
   for (std::size_t r = 0; r < rows_; ++r) {
     double acc = 0.0;
+    GCM_DCHECK(first_[r + 1] <= value_ids_.size());
     for (u32 k = first_[r]; k < first_[r + 1]; ++k) {
+      GCM_DCHECK_BOUNDS(value_ids_[k], dictionary_.size());
+      GCM_DCHECK_BOUNDS(idx_[k], cols_);
       acc += dictionary_[value_ids_[k]] * x[idx_[k]];
     }
     y[r] = acc;
@@ -162,11 +176,15 @@ void CsrIvMatrix::MultiplyLeftInto(std::span<const double> y,
                                    std::span<double> x) const {
   GCM_CHECK(y.size() == rows_);
   GCM_CHECK(x.size() == cols_);
+  GCM_DCHECK(first_.size() == rows_ + 1);
   std::fill(x.begin(), x.end(), 0.0);
   for (std::size_t r = 0; r < rows_; ++r) {
     double scale = y[r];
     if (scale == 0.0) continue;
+    GCM_DCHECK(first_[r + 1] <= value_ids_.size());
     for (u32 k = first_[r]; k < first_[r + 1]; ++k) {
+      GCM_DCHECK_BOUNDS(value_ids_[k], dictionary_.size());
+      GCM_DCHECK_BOUNDS(idx_[k], cols_);
       x[idx_[k]] += scale * dictionary_[value_ids_[k]];
     }
   }

@@ -4,6 +4,7 @@
 
 #include "encoding/byte_stream.hpp"
 #include "matrix/csr.hpp"
+#include "util/check.hpp"
 
 namespace gcm {
 
@@ -107,10 +108,14 @@ void CsrvMatrix::MultiplyRightInto(std::span<const double> x,
                                    std::span<double> y) const {
   GCM_CHECK_MSG(x.size() == cols_, "MultiplyRight: wrong vector length");
   GCM_CHECK_MSG(y.size() == rows_, "MultiplyRight: wrong output length");
+  // Validate() bounds every decoded value id and counts exactly rows_
+  // sentinels; the row walk re-asserts per element in debug builds since a
+  // malformed sequence here reads out of bounds silently.
   std::size_t row = 0;
   double acc = 0.0;
   for (u32 symbol : sequence_) {
     if (symbol == kCsrvSentinel) {
+      GCM_DCHECK_BOUNDS(row, rows_);
       y[row++] = acc;
       acc = 0.0;
       continue;
@@ -118,6 +123,7 @@ void CsrvMatrix::MultiplyRightInto(std::span<const double> x,
     u32 packed = symbol - 1;
     u32 value_id = packed / static_cast<u32>(cols_);
     u32 column = packed % static_cast<u32>(cols_);
+    GCM_DCHECK_BOUNDS(value_id, dictionary_.size());
     acc += dictionary_[value_id] * x[column];
   }
 }
@@ -136,6 +142,8 @@ void CsrvMatrix::MultiplyLeftInto(std::span<const double> y,
     u32 packed = symbol - 1;
     u32 value_id = packed / static_cast<u32>(cols_);
     u32 column = packed % static_cast<u32>(cols_);
+    GCM_DCHECK_BOUNDS(row, rows_);
+    GCM_DCHECK_BOUNDS(value_id, dictionary_.size());
     x[column] += y[row] * dictionary_[value_id];
   }
 }
@@ -174,8 +182,11 @@ std::vector<CsrvMatrix> CsrvMatrix::SplitRowBlocks(std::size_t blocks) const {
     block.rows_ = rows_in_block;
     block.cols_ = cols_;
     block.dictionary_ = dictionary_;  // shared content; see BlockedGcMatrix
-    block.sequence_.assign(sequence_.begin() + begin,
-                           sequence_.begin() + i + 1);
+    // Iterator arithmetic takes a signed difference_type; both offsets are
+    // bounded by sequence_.size(), so the casts cannot overflow.
+    block.sequence_.assign(
+        sequence_.begin() + static_cast<std::ptrdiff_t>(begin),
+        sequence_.begin() + static_cast<std::ptrdiff_t>(i + 1));
     out.push_back(std::move(block));
     begin = i + 1;
     rows_in_block = 0;

@@ -73,13 +73,15 @@ DenseMatrix GenerateDatasetRows(const DatasetProfile& profile,
   }
   std::size_t continuous_count = static_cast<std::size_t>(
       std::round(profile.continuous_fraction * static_cast<double>(cols)));
-  std::vector<u32> continuous_cols(shuffled.begin(),
-                                   shuffled.begin() + continuous_count);
+  std::vector<u32> continuous_cols(
+      shuffled.begin(),
+      shuffled.begin() + static_cast<std::ptrdiff_t>(continuous_count));
   std::vector<std::vector<u32>> groups;
   std::size_t group_size = std::max<std::size_t>(1, profile.group_size);
   for (std::size_t i = continuous_count; i < cols; i += group_size) {
     std::size_t end = std::min(cols, i + group_size);
-    groups.emplace_back(shuffled.begin() + i, shuffled.begin() + end);
+    groups.emplace_back(shuffled.begin() + static_cast<std::ptrdiff_t>(i),
+                        shuffled.begin() + static_cast<std::ptrdiff_t>(end));
   }
 
   // 2. Dictionary of distinct values for categorical columns.

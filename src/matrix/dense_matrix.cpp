@@ -98,9 +98,11 @@ DenseMatrix DenseMatrix::WithColumnOrder(const std::vector<u32>& perm) const {
 
 DenseMatrix DenseMatrix::RowSlice(std::size_t begin, std::size_t end) const {
   GCM_CHECK_MSG(begin <= end && end <= rows_, "invalid row slice");
-  return DenseMatrix(end - begin, cols_,
-                     std::vector<double>(data_.begin() + begin * cols_,
-                                         data_.begin() + end * cols_));
+  return DenseMatrix(
+      end - begin, cols_,
+      std::vector<double>(
+          data_.begin() + static_cast<std::ptrdiff_t>(begin * cols_),
+          data_.begin() + static_cast<std::ptrdiff_t>(end * cols_)));
 }
 
 DenseMatrix DenseMatrix::Random(std::size_t rows, std::size_t cols,

@@ -25,7 +25,8 @@ MatrixStats ComputeStats(const DenseMatrix& dense) {
       dense.rows() * dense.cols() == 0
           ? 0.0
           : static_cast<double>(stats.nonzeros) /
-                (static_cast<double>(dense.rows()) * dense.cols());
+                (static_cast<double>(dense.rows()) *
+                 static_cast<double>(dense.cols()));
   stats.distinct_values = BuildValueDictionary(dense).size();
   stats.dense_bytes = dense.UncompressedBytes();
   return stats;

@@ -110,7 +110,9 @@ ColumnSimilarityMatrix ColumnSimilarityMatrix::FromEdges(
       for (std::size_t c = 0; c < m; ++c) {
         auto& list = incident[c];
         std::size_t top = std::min(options.k, list.size());
-        std::partial_sort(list.begin(), list.begin() + top, list.end(),
+        std::partial_sort(list.begin(),
+                          list.begin() + static_cast<std::ptrdiff_t>(top),
+                          list.end(),
                           [&](std::size_t a, std::size_t b) {
                             return all[a].weight > all[b].weight;
                           });
@@ -123,7 +125,9 @@ ColumnSimilarityMatrix ColumnSimilarityMatrix::FromEdges(
     }
     case CsmPrune::kGlobal: {
       std::size_t top = std::min(all.size(), m * options.k);
-      std::partial_sort(all.begin(), all.begin() + top, all.end(),
+      std::partial_sort(all.begin(),
+                        all.begin() + static_cast<std::ptrdiff_t>(top),
+                        all.end(),
                         [](const CsmEdge& a, const CsmEdge& b) {
                           return a.weight > b.weight;
                         });

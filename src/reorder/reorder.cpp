@@ -254,7 +254,8 @@ std::vector<u32> TspOrder(const ColumnSimilarityMatrix& csm) {
                        (b + 1 < m ? csm.Score(order[a + 1], order[b + 1])
                                   : 0.0);
         if (added > removed + 1e-12) {
-          std::reverse(order.begin() + a + 1, order.begin() + b + 1);
+          std::reverse(order.begin() + static_cast<std::ptrdiff_t>(a + 1),
+                       order.begin() + static_cast<std::ptrdiff_t>(b + 1));
           improved = true;
         }
       }
@@ -274,11 +275,14 @@ std::vector<u32> TspOrder(const ColumnSimilarityMatrix& csm) {
           double new_edges = csm.Score(order[t], order[s]) +
                              csm.Score(order[e - 1], order[t + 1]);
           if (gain_remove + new_edges - old_edge > 1e-12) {
-            std::vector<u32> segment(order.begin() + s, order.begin() + e);
-            order.erase(order.begin() + s, order.begin() + e);
+            auto seg_begin = order.begin() + static_cast<std::ptrdiff_t>(s);
+            auto seg_end = order.begin() + static_cast<std::ptrdiff_t>(e);
+            std::vector<u32> segment(seg_begin, seg_end);
+            order.erase(seg_begin, seg_end);
             std::size_t insert_at = t < s ? t + 1 : t + 1 - len;
-            order.insert(order.begin() + insert_at, segment.begin(),
-                         segment.end());
+            order.insert(
+                order.begin() + static_cast<std::ptrdiff_t>(insert_at),
+                segment.begin(), segment.end());
             improved = true;
             break;
           }

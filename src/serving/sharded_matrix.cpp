@@ -9,6 +9,7 @@
 #include "encoding/snapshot.hpp"
 #include "matrix/dense_matrix.hpp"
 #include "matrix/sparse_builder.hpp"
+#include "util/check.hpp"
 #include "util/thread_pool.hpp"
 
 namespace gcm {
@@ -239,6 +240,15 @@ void ShardedMatrix::MultiplyRightInto(std::span<const double> x,
   auto run_shard = [&](std::size_t i, const MulContext& inner) {
     const ShardState& shard = *states_[i];
     AnyMatrix m = Acquire(shard);
+    // Manifest validation guarantees a contiguous row tiling; assert the
+    // slice really lies inside the caller's span before subspan() (an
+    // out-of-range subspan is UB, not an exception).
+    GCM_DCHECK_MSG(shard.entry.row_begin <= y.size() &&
+                       shard.entry.row_end <= y.size() &&
+                       shard.entry.row_begin <= shard.entry.row_end,
+                   "shard " << i << " rows [" << shard.entry.row_begin << ", "
+                            << shard.entry.row_end
+                            << ") outside output span of " << y.size());
     m.MultiplyRightInto(
         x, y.subspan(shard.entry.row_begin, shard.entry.rows()), inner);
   };
@@ -268,6 +278,11 @@ void ShardedMatrix::MultiplyLeftInto(std::span<const double> y,
     ctx.pool->ParallelFor(n, [&](std::size_t i) {
       const ShardState& shard = *states_[i];
       AnyMatrix m = Acquire(shard);
+      GCM_DCHECK_MSG(shard.entry.row_end <= y.size() &&
+                         shard.entry.row_begin <= shard.entry.row_end,
+                     "shard " << i << " rows [" << shard.entry.row_begin
+                              << ", " << shard.entry.row_end
+                              << ") outside input span of " << y.size());
       m.MultiplyLeftInto(
           y.subspan(shard.entry.row_begin, shard.entry.rows()),
           std::span<double>(partials.data() + i * cols(), cols()),
@@ -282,6 +297,11 @@ void ShardedMatrix::MultiplyLeftInto(std::span<const double> y,
     for (std::size_t i = 0; i < n; ++i) {
       const ShardState& shard = *states_[i];
       AnyMatrix m = Acquire(shard);
+      GCM_DCHECK_MSG(shard.entry.row_end <= y.size() &&
+                         shard.entry.row_begin <= shard.entry.row_end,
+                     "shard " << i << " rows [" << shard.entry.row_begin
+                              << ", " << shard.entry.row_end
+                              << ") outside input span of " << y.size());
       m.MultiplyLeftInto(
           y.subspan(shard.entry.row_begin, shard.entry.rows()), partial, ctx);
       for (std::size_t c = 0; c < cols(); ++c) x[c] += partial[c];

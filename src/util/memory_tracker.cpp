@@ -6,6 +6,16 @@
 #include <cstdlib>
 #include <new>
 
+#include "util/check.hpp"
+
+// The operator new/delete replacements conflict with sanitizer runtimes:
+// ASan/TSan interpose malloc to add redzones and shadow bookkeeping, and a
+// size-prefix layer on top would shift every payload pointer off the
+// sanitizer's recorded allocation start (breaking free() matching and
+// container-overflow precision). Under any sanitizer the replacements are
+// compiled out entirely and heap accounting degrades to PeakRssBytes().
+#define GCM_HEAP_TRACKING_ENABLED (!GCM_SANITIZERS_ACTIVE)
+
 namespace gcm {
 namespace {
 
@@ -13,6 +23,10 @@ std::atomic<u64> g_current{0};
 std::atomic<u64> g_peak{0};
 
 }  // namespace
+
+bool MemoryTracker::TrackingActive() {
+  return GCM_HEAP_TRACKING_ENABLED != 0;
+}
 
 u64 MemoryTracker::CurrentBytes() {
   return g_current.load(std::memory_order_relaxed);
@@ -53,6 +67,7 @@ void MemoryTracker::RecordFree(std::size_t bytes) {
 // the allocation size so frees can be accounted without a hash table. The
 // header is max_align_t-sized to preserve alignment guarantees.
 // ---------------------------------------------------------------------------
+#if GCM_HEAP_TRACKING_ENABLED
 namespace {
 
 constexpr std::size_t kHeader =
@@ -130,3 +145,4 @@ void operator delete(void* ptr, std::size_t, std::align_val_t) noexcept {
 void operator delete[](void* ptr, std::size_t, std::align_val_t) noexcept {
   TrackedAlignedFree(ptr);
 }
+#endif  // GCM_HEAP_TRACKING_ENABLED

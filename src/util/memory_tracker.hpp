@@ -26,6 +26,14 @@ namespace gcm {
 
 class MemoryTracker {
  public:
+  /// Whether the global operator new/delete replacements are compiled in.
+  /// False under ASan/TSan/MSan: sanitizers interpose the allocator
+  /// themselves, and layering the size-prefix headers on top would both
+  /// distort their redzone/shadow accounting and hide the true allocation
+  /// boundaries from them. When false, CurrentBytes()/PeakBytes() are
+  /// permanently 0 and only PeakRssBytes() carries signal.
+  static bool TrackingActive();
+
   /// Live heap bytes allocated through global new at this instant.
   static u64 CurrentBytes();
 

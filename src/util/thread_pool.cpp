@@ -7,6 +7,8 @@
 #include <memory>
 #include <mutex>
 
+#include "util/check.hpp"
+
 namespace gcm {
 namespace {
 
@@ -61,7 +63,13 @@ struct ParallelForState {
       {
         std::lock_guard<std::mutex> lock(mu);
         if (error && !first_error) first_error = error;
-        last = ++finished == count;
+        ++finished;
+        // Claim accounting: each claimed index is finished exactly once,
+        // so the completion count can never pass the range size.
+        GCM_DCHECK_MSG(finished <= count, "ParallelFor finished " << finished
+                                              << " of " << count
+                                              << " iterations");
+        last = finished == count;
       }
       if (last) all_done.notify_all();
     }
@@ -128,6 +136,7 @@ void ThreadPool::ParallelFor(std::size_t count,
   // caller simply runs the whole range itself and the queued helpers
   // no-op later.
   auto state = std::make_shared<ParallelForState>(count, fn);
+  GCM_DCHECK_MSG(!workers_.empty(), "ThreadPool has no workers");
   std::size_t free_workers = workers_.size() - (OnWorkerThread() ? 1 : 0);
   std::size_t helpers = std::min(count - 1, free_workers);
   // If a Submit throws (allocation failure), already-queued helpers are
@@ -147,6 +156,10 @@ void ThreadPool::ParallelFor(std::size_t count,
     std::unique_lock<std::mutex> lock(state->mu);
     state->all_done.wait(lock,
                          [&] { return state->finished == state->count; });
+    // Postcondition of the claim protocol: the caller only unblocks once
+    // every index was claimed AND finished -- never more, never fewer.
+    GCM_DCHECK(state->finished == state->count);
+    GCM_DCHECK(state->next.load(std::memory_order_relaxed) >= state->count);
   }
   if (state->first_error) std::rethrow_exception(state->first_error);
 }

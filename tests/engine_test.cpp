@@ -398,8 +398,8 @@ INSTANTIATE_TEST_SUITE_P(AllFormats, MultiPoolTest,
                          ::testing::Values(GcFormat::kCsrv, GcFormat::kRe32,
                                            GcFormat::kReIv,
                                            GcFormat::kReAns),
-                         [](const auto& info) {
-                           return std::string(FormatName(info.param));
+                         [](const auto& suffix_info) {
+                           return std::string(FormatName(suffix_info.param));
                          });
 
 // --------------------------------------------------------------------------
@@ -454,8 +454,8 @@ INSTANTIATE_TEST_SUITE_P(AllFormats, SingleVectorPoolTest,
                          ::testing::Values(GcFormat::kCsrv, GcFormat::kRe32,
                                            GcFormat::kReIv,
                                            GcFormat::kReAns),
-                         [](const auto& info) {
-                           return std::string(FormatName(info.param));
+                         [](const auto& suffix_info) {
+                           return std::string(FormatName(suffix_info.param));
                          });
 
 }  // namespace

@@ -162,9 +162,9 @@ TEST(RePairTest, ForbiddenTerminalNeverInRules) {
     EXPECT_NE(rule.right, 0u);
   }
   // The forbidden symbol must survive verbatim in the final sequence.
-  std::size_t zeros_in = std::count(input.begin(), input.end(), 0u);
-  std::size_t zeros_out = std::count(result.final_sequence.begin(),
-                                     result.final_sequence.end(), 0u);
+  auto zeros_in = std::count(input.begin(), input.end(), 0u);
+  auto zeros_out = std::count(result.final_sequence.begin(),
+                              result.final_sequence.end(), 0u);
   EXPECT_EQ(zeros_in, zeros_out);
 }
 

@@ -64,9 +64,9 @@ INSTANTIATE_TEST_SUITE_P(
                       PipelineCase{"Mnist2m", GcFormat::kRe32},
                       PipelineCase{"Susy", GcFormat::kCsrv},
                       PipelineCase{"Optical", GcFormat::kReIv}),
-    [](const auto& info) {
-      return std::string(info.param.dataset) + "_" +
-             FormatName(info.param.format);
+    [](const auto& suffix_info) {
+      return std::string(suffix_info.param.dataset) + "_" +
+             FormatName(suffix_info.param.format);
     });
 
 // --------------------------------------------------------------------------
@@ -160,8 +160,8 @@ INSTANTIATE_TEST_SUITE_P(AllFormats, AlgebraTest,
                          ::testing::Values(GcFormat::kCsrv, GcFormat::kRe32,
                                            GcFormat::kReIv,
                                            GcFormat::kReAns),
-                         [](const auto& info) {
-                           return FormatName(info.param);
+                         [](const auto& suffix_info) {
+                           return FormatName(suffix_info.param);
                          });
 
 // --------------------------------------------------------------------------
@@ -214,8 +214,8 @@ INSTANTIATE_TEST_SUITE_P(AllFormats, CorruptionTest,
                          ::testing::Values(GcFormat::kCsrv, GcFormat::kRe32,
                                            GcFormat::kReIv,
                                            GcFormat::kReAns),
-                         [](const auto& info) {
-                           return FormatName(info.param);
+                         [](const auto& suffix_info) {
+                           return FormatName(suffix_info.param);
                          });
 
 // --------------------------------------------------------------------------

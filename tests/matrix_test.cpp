@@ -83,8 +83,8 @@ TEST(DenseMatrixTest, RandomRespectsDictionary) {
   Rng rng(5);
   DenseMatrix m = DenseMatrix::Random(50, 20, 0.4, 4, &rng);
   EXPECT_LE(BuildValueDictionary(m).size(), 4u);
-  double density =
-      static_cast<double>(m.CountNonZeros()) / (m.rows() * m.cols());
+  double density = static_cast<double>(m.CountNonZeros()) /
+                   static_cast<double>(m.rows() * m.cols());
   EXPECT_NEAR(density, 0.4, 0.1);
 }
 

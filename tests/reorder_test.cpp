@@ -210,8 +210,8 @@ INSTANTIATE_TEST_SUITE_P(
                       ReorderAlgorithm::kPathCover,
                       ReorderAlgorithm::kPathCoverPlus,
                       ReorderAlgorithm::kMwm),
-    [](const auto& info) {
-      std::string name = ReorderName(info.param);
+    [](const auto& suffix_info) {
+      std::string name = ReorderName(suffix_info.param);
       auto plus = name.find('+');
       if (plus != std::string::npos) name.replace(plus, 1, "plus");
       return name;

@@ -110,8 +110,8 @@ INSTANTIATE_TEST_SUITE_P(AllFormats, SparseGcTest,
                          ::testing::Values(GcFormat::kCsrv, GcFormat::kRe32,
                                            GcFormat::kReIv,
                                            GcFormat::kReAns),
-                         [](const auto& info) {
-                           return FormatName(info.param);
+                         [](const auto& suffix_info) {
+                           return FormatName(suffix_info.param);
                          });
 
 // --------------------------------------------------------------------------
@@ -207,8 +207,8 @@ INSTANTIATE_TEST_SUITE_P(AllFormats, MultiRhsTest,
                          ::testing::Values(GcFormat::kCsrv, GcFormat::kRe32,
                                            GcFormat::kReIv,
                                            GcFormat::kReAns),
-                         [](const auto& info) {
-                           return FormatName(info.param);
+                         [](const auto& suffix_info) {
+                           return FormatName(suffix_info.param);
                          });
 
 // --------------------------------------------------------------------------
@@ -248,8 +248,8 @@ INSTANTIATE_TEST_SUITE_P(AllFormats, ExtractRowTest,
                          ::testing::Values(GcFormat::kCsrv, GcFormat::kRe32,
                                            GcFormat::kReIv,
                                            GcFormat::kReAns),
-                         [](const auto& info) {
-                           return FormatName(info.param);
+                         [](const auto& suffix_info) {
+                           return FormatName(suffix_info.param);
                          });
 
 }  // namespace
