@@ -1,34 +1,46 @@
-// Domain example: serving predictions from a sharded compressed model store.
+// Domain example: serving predictions from a compressed model store over
+// the network protocol (src/net/).
 //
 //   $ ./model_server [--dataset Mnist2m] [--rows 2000] [--batches 50]
 //                    [--spec gcm:re_ans] [--snapshot model.gcsnap]
 //                    [--store store_dir] [--shards 8]
-//                    [--max-resident-shards 4] [--threads 4] [--eager]
+//                    [--max-resident-shards 4] [--port 0] [--serve]
+//                    [--batching true] [--eager]
 //
 // The paper's introduction motivates compression for ML model/data storage
 // and for the bandwidth of server-to-client transmission. This example
-// plays the server role at serving scale: the deployment artifact is either
-// a single AnyMatrix snapshot (--snapshot) or a sharded MatrixStore
-// directory (--store, produced on the first run with --shards row-range
-// shards). Startup deserializes nothing it does not need -- when the
-// artifact already exists on disk, the dataset is never generated and the
-// store path reads only the manifest; shard payloads stream in lazily on
-// first touch. The RePair invocation counter makes the no-recompression
-// claim checkable: the load phase must report 0 grammar constructions.
+// plays both roles. The deployment artifact is either a single AnyMatrix
+// snapshot (--snapshot) or a sharded MatrixStore directory (--store,
+// produced on the first run with --shards row-range shards). Startup
+// deserializes nothing it does not need -- when the artifact already
+// exists on disk, the dataset is never generated and the store path reads
+// only the manifest; shard payloads stream in lazily on first network
+// touch. The RePair invocation counter makes the no-recompression claim
+// checkable: the load phase must report 0 grammar constructions.
 //
-// Scoring requests scatter row ranges across shards on a worker pool and
-// gather into preallocated buffers, so the serving loop is backend-generic
-// and allocation-free; --max-resident-shards evicts the least recently
-// touched shards between requests for memory-bounded serving.
+// The loaded matrix is then served by a Server (TCP, length-prefixed
+// frames, request batching). By default the example is its own client: it
+// connects over loopback, pipelines scoring requests (which is what gives
+// the batching window something to coalesce), checks the replies against
+// the locally computed scores, and prints the server's batching counters.
+// With --serve it stays up instead, for an external client:
+//
+//   $ ./model_server --store store_dir --port 7070 --serve
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <deque>
 #include <filesystem>
 #include <memory>
+#include <thread>
 
 #include "core/any_matrix.hpp"
 #include "encoding/snapshot.hpp"
 #include "grammar/repair.hpp"
 #include "matrix/datasets.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
 #include "serving/matrix_store.hpp"
 #include "serving/sharded_matrix.hpp"
 #include "util/cli.hpp"
@@ -72,15 +84,93 @@ AnyMatrix BuildArtifact(const CliParser& cli, const std::string& snapshot,
   return model;
 }
 
+/// Loopback client demo: pipelined scoring requests against the server,
+/// every reply checked against the locally computed oracle. Returns the
+/// max abs diff seen (the server executes the same kernels with the
+/// default sequential kernel context, so the answers are bitwise
+/// identical; 1e9 flags a request the server refused).
+double RunClientDemo(const AnyMatrix& served, u16 port,
+                     std::size_t batches) {
+  Client client = Client::Connect("127.0.0.1", port);
+  ServerInfo info = client.Info();
+  std::printf("connected: serving %s, %llux%llu, %s compressed, "
+              "batching=%s\n",
+              info.format_tag.c_str(),
+              static_cast<unsigned long long>(info.rows),
+              static_cast<unsigned long long>(info.cols),
+              FormatBytes(info.compressed_bytes).c_str(),
+              info.batching != 0 ? "on" : "off");
+
+  Rng rng(777);
+  const std::size_t depth = 4;  // pipelined window: batching fodder
+  struct InFlight {
+    u64 id;
+    std::vector<double> weights;
+  };
+  std::deque<InFlight> window;
+  double max_diff = 0.0;
+  double checksum = 0.0;
+  std::size_t sent = 0;
+  std::size_t done = 0;
+  Timer serve_timer;
+  while (done < batches) {
+    while (sent < batches && window.size() < depth) {
+      std::vector<double> weights(served.cols());
+      for (auto& w : weights) w = rng.NextGaussian();
+      u64 id = client.SendMvmRight(weights);
+      window.push_back({id, std::move(weights)});
+      ++sent;
+    }
+    InFlight head = std::move(window.front());
+    window.pop_front();
+    Client::Response reply = client.Await(head.id);
+    if (reply.type != MsgType::kMvmReply) {
+      std::fprintf(stderr, "request %llu failed: %s (%s)\n",
+                   static_cast<unsigned long long>(head.id),
+                   NetErrorName(reply.error), reply.message.c_str());
+      return 1e9;
+    }
+    std::vector<double> local = served.MultiplyRight(head.weights);
+    max_diff = std::max(max_diff, MaxAbsDiff(reply.values, local));
+    checksum += reply.values[done % reply.values.size()];
+    ++done;
+  }
+  double total = serve_timer.Seconds();
+  std::printf("%zu scoring requests over loopback in %s (%.3f ms each, "
+              "checksum %.3f)\n",
+              batches, FormatSeconds(total).c_str(),
+              1e3 * total / static_cast<double>(batches), checksum);
+
+  // A row-range request serves just a slice -- on a lazy store this only
+  // faults in the overlapping shards.
+  std::size_t rows = served.rows();
+  u64 begin = static_cast<u64>(rows) / 4;
+  u64 end = static_cast<u64>(rows) / 2;
+  if (begin < end) {
+    std::vector<double> weights(served.cols(), 1.0);
+    std::vector<double> slice = client.MvmRight(weights, begin, end);
+    std::vector<double> full = served.MultiplyRight(weights);
+    std::vector<double> expected(
+        full.begin() + static_cast<std::ptrdiff_t>(begin),
+        full.begin() + static_cast<std::ptrdiff_t>(end));
+    max_diff = std::max(max_diff, MaxAbsDiff(slice, expected));
+    std::printf("row-range request [%llu, %llu): %zu values\n",
+                static_cast<unsigned long long>(begin),
+                static_cast<unsigned long long>(end), slice.size());
+  }
+  client.Close();
+  return max_diff;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   CliParser cli("model_server",
-                "score batches against a snapshot- or shard-served "
-                "compressed matrix");
+                "serve a snapshot- or shard-backed compressed matrix over "
+                "the network protocol, with a loopback client demo");
   cli.AddFlag("dataset", "Mnist2m", "dataset profile to generate");
   cli.AddFlag("rows", "2000", "rows of the feature matrix");
-  cli.AddFlag("batches", "50", "number of scoring requests");
+  cli.AddFlag("batches", "50", "scoring requests the client demo sends");
   cli.AddFlag("spec", "gcm:re_ans", "engine spec of the deployed model");
   cli.AddFlag("snapshot", "",
               "single-snapshot path: load from it when present, else build "
@@ -91,8 +181,14 @@ int main(int argc, char** argv) {
   cli.AddFlag("shards", "8", "shard count when partitioning a new store");
   cli.AddFlag("max-resident-shards", "0",
               "evict least-recently-used shards down to this residency "
-              "between requests (0 = unlimited)");
-  cli.AddFlag("threads", "4", "worker pool for shard-parallel scoring");
+              "after every batch (0 = unlimited)");
+  cli.AddFlag("port", "0", "TCP port to serve on (0 = ephemeral)");
+  cli.AddFlag("serve", "false",
+              "stay up for external clients instead of running the "
+              "loopback demo");
+  cli.AddFlag("batching", "true", "coalesce compatible requests");
+  cli.AddFlag("batch-max", "16", "requests per coalesced kernel call");
+  cli.AddFlag("batch-window-ms", "0.25", "how long a batch waits to fill");
   cli.AddFlag("build-threads", "1",
               "worker pool for shard-parallel construction when the "
               "artifact must be built (1 = sequential, 0 = all hardware "
@@ -168,56 +264,55 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  // ...then answer scoring requests straight off the compressed form,
-  // through the engine API with buffers allocated once up front. Requests
-  // scatter across shards on the pool; the residency cap (if any) evicts
-  // cold shards between requests.
-  ThreadPool pool(static_cast<std::size_t>(cli.GetInt("threads")));
-  std::size_t max_resident =
+  // ---- Network side: the loaded matrix goes straight behind the server
+  // (the same compressed representation answers every request; batching
+  // coalesces compatible pipelined requests into one multi-vector call).
+  ServerConfig config;
+  config.port = static_cast<u16>(cli.GetInt("port"));
+  config.batching = cli.GetBool("batching");
+  config.batch_max = static_cast<std::size_t>(cli.GetInt("batch-max"));
+  config.batch_window_ms = cli.GetDouble("batch-window-ms");
+  config.max_resident_shards =
       static_cast<std::size_t>(cli.GetInt("max-resident-shards"));
-  Rng rng(777);
-  std::size_t batches = static_cast<std::size_t>(cli.GetInt("batches"));
-  std::vector<double> weights(served.cols());
-  std::vector<double> scores(served.rows());
-  Timer serve_timer;
-  double checksum = 0.0;
-  std::size_t evictions = 0;
-  for (std::size_t request = 0; request < batches; ++request) {
-    for (auto& w : weights) w = rng.NextGaussian();
-    served.MultiplyRightInto(weights, scores, {.pool = &pool});
-    checksum += scores[request % scores.size()];
-    if (sharded != nullptr && max_resident > 0) {
-      evictions += sharded->EvictToResidencyLimit(max_resident);
+  Server server(served, config);
+  server.Start();
+  std::printf("serving on 127.0.0.1:%u\n",
+              static_cast<unsigned>(server.port()));
+
+  if (cli.GetBool("serve")) {
+    // Stay up for external clients until killed.
+    while (server.running()) {
+      std::this_thread::sleep_for(std::chrono::seconds(1));
     }
-  }
-  double total = serve_timer.Seconds();
-  std::printf("%zu scoring requests in %s (%.3f ms each, checksum %.3f)\n",
-              batches, FormatSeconds(total).c_str(),
-              1e3 * total / static_cast<double>(batches), checksum);
-  if (sharded != nullptr && max_resident > 0) {
-    std::printf("residency cap %zu: %zu evictions, %zu shards resident at "
-                "shutdown\n",
-                max_resident, evictions, sharded->LoadedShardCount());
+    return 0;
   }
 
-  // Sanity: when we built the artifact this run, the served matrix must
-  // answer exactly like the in-memory original. On the load path there is
-  // nothing to compare against (construction was skipped entirely, which
-  // is the point) -- self-check the scatter/gather by re-scoring the last
-  // request sequentially instead.
+  double max_diff =
+      RunClientDemo(served, server.port(),
+                    static_cast<std::size_t>(cli.GetInt("batches")));
+  ServerStats stats = server.stats();
+  std::printf("server counters: %llu replies, %llu batches (max batch "
+              "%llu, %llu requests coalesced), %llu shard evictions\n",
+              static_cast<unsigned long long>(stats.replies_sent),
+              static_cast<unsigned long long>(stats.batches_dispatched),
+              static_cast<unsigned long long>(stats.max_batch),
+              static_cast<unsigned long long>(stats.batched_requests),
+              static_cast<unsigned long long>(stats.shard_evictions));
+  if (sharded != nullptr && config.max_resident_shards > 0) {
+    std::printf("residency cap %zu: %zu shards resident at shutdown\n",
+                config.max_resident_shards, sharded->LoadedShardCount());
+  }
+  server.Stop();
+
+  std::printf("serving correctness: max diff vs local oracle = %.2e\n",
+              max_diff);
   if (built_now && in_memory.valid()) {
     std::vector<double> probe(served.cols(), 1.0);
-    double diff = MaxAbsDiff(served.MultiplyRight(probe),
-                             in_memory.MultiplyRight(probe));
-    std::printf("serving correctness: max diff vs built model = %.2e\n",
-                diff);
-    return diff < 1e-9 ? 0 : 1;
+    double rebuild_diff = MaxAbsDiff(served.MultiplyRight(probe),
+                                     in_memory.MultiplyRight(probe));
+    std::printf("artifact round trip: max diff vs built model = %.2e\n",
+                rebuild_diff);
+    max_diff = std::max(max_diff, rebuild_diff);
   }
-  std::vector<double> sequential(served.rows());
-  served.MultiplyRightInto(weights, sequential);
-  double diff = MaxAbsDiff(sequential, scores);
-  std::printf("serving correctness: pooled vs sequential scatter/gather "
-              "diff = %.2e\n",
-              diff);
-  return diff < 1e-9 ? 0 : 1;
+  return max_diff < 1e-9 ? 0 : 1;
 }

@@ -56,6 +56,17 @@ concept HasPoolInto = requires(const M& m, std::span<const double> in,
   m.MultiplyRightInto(in, out, pool);
 };
 
+/// Matches backends with native multi-vector kernels that amortize work
+/// across the batch (GcMatrix / BlockedGcMatrix share one expansion of the
+/// grammar for all k columns). The rest fall back to the per-vector loop
+/// default, which preserves the bitwise-per-vector contract trivially.
+template <typename M>
+concept HasNativeMulti = requires(const M& m, const DenseMatrix& x,
+                                  ThreadPool* pool) {
+  m.MultiplyRightMulti(x, pool);
+  m.MultiplyLeftMulti(x, pool);
+};
+
 template <typename M>
 u64 BackendBytes(const M& m) {
   if constexpr (requires { m.CompressedBytes(); }) {
@@ -121,6 +132,24 @@ class KernelAdapter final : public IMatrixKernel {
       matrix_->MultiplyLeftInto(y, x, ctx.pool);
     } else {
       matrix_->MultiplyLeftInto(y, x);
+    }
+  }
+
+  void MultiplyRightMulti(const DenseMatrix& x, DenseMatrix* y,
+                          const MulContext& ctx) const override {
+    if constexpr (HasNativeMulti<M>) {
+      *y = matrix_->MultiplyRightMulti(x, ctx.pool);
+    } else {
+      IMatrixKernel::MultiplyRightMulti(x, y, ctx);
+    }
+  }
+
+  void MultiplyLeftMulti(const DenseMatrix& x, DenseMatrix* y,
+                         const MulContext& ctx) const override {
+    if constexpr (HasNativeMulti<M>) {
+      *y = matrix_->MultiplyLeftMulti(x, ctx.pool);
+    } else {
+      IMatrixKernel::MultiplyLeftMulti(x, y, ctx);
     }
   }
 
@@ -248,6 +277,18 @@ AnyMatrix BuildAutoSpec(const DenseMatrix& dense, const MatrixSpec& spec,
   constraints.blocks = spec.GetSize("blocks", 1);
   constraints.sample_rows =
       spec.GetSize("sample_rows", constraints.sample_rows);
+  auto probe = spec.params.find("probe");
+  if (probe != spec.params.end()) {
+    if (probe->second == "modeled") {
+      constraints.speed_probe = SpeedProbe::kModeled;
+    } else if (probe->second == "measured") {
+      constraints.speed_probe = SpeedProbe::kMeasured;
+    } else {
+      throw std::invalid_argument(
+          "spec key \"probe\": expected measured|modeled, got \"" +
+          probe->second + '"');
+    }
+  }
   return AdviseFormat(dense, constraints, nullptr, ctx);
 }
 
@@ -305,8 +346,8 @@ const std::vector<SpecFamily>& Registry() {
        {"inner", "rows_per_shard", "shards", "target_bytes"},
        &BuildShardedFromSpec,
        &LoadShardedFromSnapshot},
-      {"auto", {}, {"budget", "blocks", "sample_rows"}, &BuildAutoSpec,
-       nullptr},
+      {"auto", {}, {"budget", "blocks", "sample_rows", "probe"},
+       &BuildAutoSpec, nullptr},
   };
   return registry;
 }
@@ -744,6 +785,57 @@ std::vector<double> AnyMatrix::MultiplyLeft(std::span<const double> y,
   std::vector<double> x(cols());
   MultiplyLeftInto(y, x, ctx);
   return x;
+}
+
+// Default multi-vector kernels: one sequential single-vector call per input
+// vector. Deliberately *not* pool-parallel across vectors -- forwarding the
+// context unchanged keeps vector j's result bitwise identical to the same
+// single-vector call the batching server would have issued without
+// coalescing, which is the contract its correctness tests pin down.
+void IMatrixKernel::MultiplyRightMulti(const DenseMatrix& x, DenseMatrix* y,
+                                       const MulContext& ctx) const {
+  const std::size_t k = x.cols();
+  std::vector<double> in(cols());
+  std::vector<double> out(rows());
+  for (std::size_t j = 0; j < k; ++j) {
+    for (std::size_t c = 0; c < cols(); ++c) in[c] = x.At(c, j);
+    MultiplyRightInto(in, out, ctx);
+    for (std::size_t r = 0; r < rows(); ++r) y->Set(r, j, out[r]);
+  }
+}
+
+void IMatrixKernel::MultiplyLeftMulti(const DenseMatrix& x, DenseMatrix* y,
+                                      const MulContext& ctx) const {
+  const std::size_t k = x.rows();
+  std::vector<double> in(rows());
+  std::vector<double> out(cols());
+  for (std::size_t j = 0; j < k; ++j) {
+    for (std::size_t r = 0; r < rows(); ++r) in[r] = x.At(j, r);
+    MultiplyLeftInto(in, out, ctx);
+    for (std::size_t c = 0; c < cols(); ++c) y->Set(j, c, out[c]);
+  }
+}
+
+DenseMatrix AnyMatrix::MultiplyRightMulti(const DenseMatrix& x,
+                                          const MulContext& ctx) const {
+  const IMatrixKernel& k = kernel();
+  GCM_CHECK_MSG(x.rows() == k.cols(), "MultiplyRightMulti: input has "
+                                          << x.rows() << " rows, expected "
+                                          << k.cols());
+  DenseMatrix y(k.rows(), x.cols());
+  k.MultiplyRightMulti(x, &y, ctx);
+  return y;
+}
+
+DenseMatrix AnyMatrix::MultiplyLeftMulti(const DenseMatrix& x,
+                                         const MulContext& ctx) const {
+  const IMatrixKernel& k = kernel();
+  GCM_CHECK_MSG(x.cols() == k.rows(), "MultiplyLeftMulti: input has "
+                                          << x.cols() << " cols, expected "
+                                          << k.rows());
+  DenseMatrix y(x.rows(), k.cols());
+  k.MultiplyLeftMulti(x, &y, ctx);
+  return y;
 }
 
 DenseMatrix AnyMatrix::ToDense() const { return kernel().ToDense(); }

@@ -101,6 +101,20 @@ class IMatrixKernel {
                                 std::span<double> x,
                                 const MulContext& ctx) const = 0;
 
+  /// Multi-vector kernels: Y = M X (X: cols x k, Y: rows x k) and
+  /// Y = X M (X: k x rows, Y: k x cols); outputs are fully overwritten.
+  /// The defaults loop the single-vector *Into kernels one input vector at
+  /// a time; backends that can amortize work across vectors (the grammar
+  /// family shares one expansion of C and R for all k columns, sharded
+  /// matrices scatter whole batches) override them. Contract the batching
+  /// server relies on: vector j of the result is bitwise identical to a
+  /// sequential single-vector call on input j, so coalescing requests
+  /// never changes anyone's answer.
+  virtual void MultiplyRightMulti(const DenseMatrix& x, DenseMatrix* y,
+                                  const MulContext& ctx) const;
+  virtual void MultiplyLeftMulti(const DenseMatrix& x, DenseMatrix* y,
+                                 const MulContext& ctx) const;
+
   /// Materializes the dense equivalent (testing / conversion).
   virtual DenseMatrix ToDense() const = 0;
 
@@ -221,6 +235,16 @@ class AnyMatrix {
                                     const MulContext& ctx = {}) const;
   std::vector<double> MultiplyLeft(std::span<const double> y,
                                    const MulContext& ctx = {}) const;
+
+  /// Multi-vector kernels (the batching server's execution grain): one
+  /// call answers k requests, amortizing grammar expansion across the
+  /// batch. Right: X is cols x k, result rows x k. Left: X is k x rows,
+  /// result k x cols. Vector j of the result is bitwise identical to the
+  /// corresponding sequential single-vector call.
+  DenseMatrix MultiplyRightMulti(const DenseMatrix& x,
+                                 const MulContext& ctx = {}) const;
+  DenseMatrix MultiplyLeftMulti(const DenseMatrix& x,
+                                const MulContext& ctx = {}) const;
 
   DenseMatrix ToDense() const;
 

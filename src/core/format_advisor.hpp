@@ -26,6 +26,20 @@
 
 namespace gcm {
 
+/// How the advisor estimates each format's per-iteration speed.
+enum class SpeedProbe {
+  /// Wall-clock a right+left multiplication pair on the compressed
+  /// sample. Adapts to the actual hardware, but inherits its noise: on a
+  /// loaded machine close rankings can flip between runs.
+  kMeasured,
+  /// Deterministic cost model over the compressed representation (final
+  /// sequence length, rule count, per-format symbol weights). The same
+  /// input yields the same ranking on every run and every machine -- what
+  /// tests and reproducible tooling should use. The absolute seconds are
+  /// nominal; only the ratios between formats carry meaning.
+  kModeled,
+};
+
 struct AdvisorConstraints {
   /// Peak working-set budget in bytes (0 = unlimited).
   u64 memory_budget_bytes = 0;
@@ -33,6 +47,9 @@ struct AdvisorConstraints {
   std::size_t blocks = 1;
   /// Rows sampled for estimation (clamped to the matrix height).
   std::size_t sample_rows = 2048;
+  /// Speed estimation: measured wall clock (default) or deterministic
+  /// model ("auto?...&probe=modeled" from the spec grammar).
+  SpeedProbe speed_probe = SpeedProbe::kMeasured;
 };
 
 struct FormatEstimate {

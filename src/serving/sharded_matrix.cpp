@@ -309,6 +309,136 @@ void ShardedMatrix::MultiplyLeftInto(std::span<const double> y,
   }
 }
 
+void ShardedMatrix::MultiplyRightMulti(const DenseMatrix& x, DenseMatrix* y,
+                                       const MulContext& ctx) const {
+  // Same scatter as MultiplyRightInto, one batch at a time: each shard
+  // writes its own disjoint row block of y, so pooled shards need no
+  // synchronization and pooled/unpooled runs are bitwise identical.
+  const std::size_t k = x.cols();
+  auto run_shard = [&](std::size_t i, const MulContext& inner) {
+    const ShardState& shard = *states_[i];
+    AnyMatrix m = Acquire(shard);
+    DenseMatrix block = m.MultiplyRightMulti(x, inner);
+    for (std::size_t r = 0; r < shard.entry.rows(); ++r) {
+      for (std::size_t j = 0; j < k; ++j) {
+        y->Set(shard.entry.row_begin + r, j, block.At(r, j));
+      }
+    }
+  };
+  if (ctx.pool != nullptr && states_.size() > 1) {
+    ctx.pool->ParallelFor(states_.size(),
+                          [&](std::size_t i) { run_shard(i, MulContext{}); });
+  } else {
+    for (std::size_t i = 0; i < states_.size(); ++i) run_shard(i, ctx);
+  }
+}
+
+void ShardedMatrix::MultiplyLeftMulti(const DenseMatrix& x, DenseMatrix* y,
+                                      const MulContext& ctx) const {
+  // Mirrors MultiplyLeftInto: one k x cols partial per shard (each fed the
+  // k x shard_rows column slice of x), summed in shard order so the
+  // reduction matches the sequential single-vector kernel bitwise.
+  const std::size_t k = x.rows();
+  const std::size_t n = states_.size();
+  auto shard_partial = [&](std::size_t i, const MulContext& inner) {
+    const ShardState& shard = *states_[i];
+    AnyMatrix m = Acquire(shard);
+    DenseMatrix slice(k, shard.entry.rows());
+    for (std::size_t j = 0; j < k; ++j) {
+      for (std::size_t c = 0; c < shard.entry.rows(); ++c) {
+        slice.Set(j, c, x.At(j, shard.entry.row_begin + c));
+      }
+    }
+    return m.MultiplyLeftMulti(slice, inner);
+  };
+  for (std::size_t j = 0; j < k; ++j) {
+    for (std::size_t c = 0; c < cols(); ++c) y->Set(j, c, 0.0);
+  }
+  std::vector<DenseMatrix> partials(n);
+  if (ctx.pool != nullptr && n > 1) {
+    ctx.pool->ParallelFor(
+        n, [&](std::size_t i) { partials[i] = shard_partial(i, MulContext{}); });
+  } else {
+    for (std::size_t i = 0; i < n; ++i) partials[i] = shard_partial(i, ctx);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < k; ++j) {
+      for (std::size_t c = 0; c < cols(); ++c) {
+        y->Set(j, c, y->At(j, c) + partials[i].At(j, c));
+      }
+    }
+  }
+}
+
+void ShardedMatrix::MultiplyRightRangeInto(std::span<const double> x,
+                                           std::span<double> y,
+                                           std::size_t row_begin,
+                                           std::size_t row_end,
+                                           const MulContext& ctx) const {
+  GCM_CHECK_MSG(row_begin < row_end && row_end <= rows(),
+                "row range [" << row_begin << ", " << row_end
+                              << ") invalid for " << rows() << " rows");
+  GCM_CHECK_MSG(x.size() == cols(), "range kernel: input has "
+                                        << x.size() << " entries, expected "
+                                        << cols());
+  GCM_CHECK_MSG(y.size() == row_end - row_begin,
+                "range kernel: output has " << y.size()
+                                            << " entries, expected "
+                                            << row_end - row_begin);
+  // Only shards overlapping the range are touched (and thus faulted in /
+  // LRU-stamped). A shard fully inside the range writes straight into the
+  // caller's span -- the same call MultiplyRightInto would make, so a
+  // full-range query is bitwise identical to the unranged kernel. A shard
+  // partially covered still computes all its rows (row-range slicing below
+  // the shard grain would need a different kernel) and copies the overlap.
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    const ShardState& shard = *states_[i];
+    std::size_t begin = std::max(row_begin, shard.entry.row_begin);
+    std::size_t end = std::min(row_end, shard.entry.row_end);
+    if (begin >= end) continue;
+    AnyMatrix m = Acquire(shard);
+    if (begin == shard.entry.row_begin && end == shard.entry.row_end) {
+      m.MultiplyRightInto(
+          x, y.subspan(begin - row_begin, shard.entry.rows()), ctx);
+    } else {
+      std::vector<double> scratch(shard.entry.rows());
+      m.MultiplyRightInto(x, scratch, ctx);
+      for (std::size_t r = begin; r < end; ++r) {
+        y[r - row_begin] = scratch[r - shard.entry.row_begin];
+      }
+    }
+  }
+}
+
+DenseMatrix ShardedMatrix::MultiplyRightRangeMulti(const DenseMatrix& x,
+                                                   std::size_t row_begin,
+                                                   std::size_t row_end,
+                                                   const MulContext& ctx) const {
+  GCM_CHECK_MSG(row_begin < row_end && row_end <= rows(),
+                "row range [" << row_begin << ", " << row_end
+                              << ") invalid for " << rows() << " rows");
+  GCM_CHECK_MSG(x.rows() == cols(), "range kernel: input has "
+                                        << x.rows() << " rows, expected "
+                                        << cols());
+  const std::size_t k = x.cols();
+  DenseMatrix y(row_end - row_begin, k);
+  // Batched analog of MultiplyRightRangeInto: untouched shards stay cold.
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    const ShardState& shard = *states_[i];
+    std::size_t begin = std::max(row_begin, shard.entry.row_begin);
+    std::size_t end = std::min(row_end, shard.entry.row_end);
+    if (begin >= end) continue;
+    AnyMatrix m = Acquire(shard);
+    DenseMatrix block = m.MultiplyRightMulti(x, ctx);
+    for (std::size_t r = begin; r < end; ++r) {
+      for (std::size_t j = 0; j < k; ++j) {
+        y.Set(r - row_begin, j, block.At(r - shard.entry.row_begin, j));
+      }
+    }
+  }
+  return y;
+}
+
 DenseMatrix ShardedMatrix::ToDense() const {
   DenseMatrix out(rows(), cols());
   for (std::size_t i = 0; i < states_.size(); ++i) {

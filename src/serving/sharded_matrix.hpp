@@ -139,6 +139,33 @@ class ShardedMatrix final : public IMatrixKernel {
   void MultiplyLeftInto(std::span<const double> y, std::span<double> x,
                         const MulContext& ctx) const override;
 
+  /// Multi-vector kernels (the batching server's execution grain): the
+  /// whole batch scatters once per shard. Right: shard i computes its
+  /// rows x k block straight into the output rows it owns. Left: each
+  /// shard contributes a k x cols partial, summed in shard order, so the
+  /// reduction stays deterministic with and without a pool. Vector j of
+  /// either result is bitwise identical to the sequential single-vector
+  /// kernel on input j.
+  void MultiplyRightMulti(const DenseMatrix& x, DenseMatrix* y,
+                          const MulContext& ctx) const override;
+  void MultiplyLeftMulti(const DenseMatrix& x, DenseMatrix* y,
+                         const MulContext& ctx) const override;
+
+  /// Row-range kernels -- the serving path's admission-aware shard touch:
+  /// only shards overlapping [row_begin, row_end) are acquired, so a range
+  /// query against a residency-limited store faults in exactly the shards
+  /// it needs. `y` holds row_end - row_begin entries (RangeInto); the
+  /// RangeMulti result is (row_end - row_begin) x k. Requires
+  /// row_begin < row_end <= rows(). The full range is bitwise identical to
+  /// MultiplyRightInto / MultiplyRightMulti.
+  void MultiplyRightRangeInto(std::span<const double> x, std::span<double> y,
+                              std::size_t row_begin, std::size_t row_end,
+                              const MulContext& ctx = {}) const;
+  DenseMatrix MultiplyRightRangeMulti(const DenseMatrix& x,
+                                      std::size_t row_begin,
+                                      std::size_t row_end,
+                                      const MulContext& ctx = {}) const;
+
   DenseMatrix ToDense() const override;
 
   /// Single-file persistence: embeds the manifest plus every shard's

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/any_matrix.hpp"
 #include "core/format_advisor.hpp"
 #include "matrix/datasets.hpp"
 #include "util/rng.hpp"
@@ -24,9 +25,14 @@ TEST(AdvisorTest, ReportsAllFourFormats) {
 
 TEST(AdvisorTest, UnlimitedBudgetPicksAFastFormat) {
   // With no memory constraint the recommendation is the fastest format,
-  // which for a grammar-compressible matrix is re_32 or csrv.
+  // which for a grammar-compressible matrix is re_32 or csrv. The
+  // modeled probe makes the ranking deterministic: the measured probe
+  // wall-clocks a single multiplication pair, and on a loaded CI machine
+  // one scheduler hiccup used to flip this assertion.
   DenseMatrix m = GenerateDatasetRows(DatasetByName("Census"), 800);
-  AdvisorReport report = AdviseFormat(m);
+  AdvisorConstraints constraints;
+  constraints.speed_probe = SpeedProbe::kModeled;
+  AdvisorReport report = AdviseFormat(m, constraints);
   EXPECT_TRUE(report.recommended == GcFormat::kRe32 ||
               report.recommended == GcFormat::kCsrv);
 }
@@ -82,11 +88,50 @@ TEST(AdvisorTest, SizePredictionTracksActualSize) {
 
 TEST(AdvisorTest, IncompressibleMatrixPrefersCsrvOverReAns) {
   // On a continuous-valued matrix the grammar formats cannot beat csrv by
-  // much, and csrv multiplies faster -- the advisor must notice.
+  // much, and csrv multiplies faster -- the advisor must notice. Modeled
+  // probe: this ranking assertion is exactly the kind a timer flake used
+  // to break.
   DenseMatrix m = GenerateDatasetRows(DatasetByName("Susy"), 1000);
-  AdvisorReport report = AdviseFormat(m);
+  AdvisorConstraints constraints;
+  constraints.speed_probe = SpeedProbe::kModeled;
+  AdvisorReport report = AdviseFormat(m, constraints);
   EXPECT_TRUE(report.recommended == GcFormat::kCsrv ||
               report.recommended == GcFormat::kRe32);
+}
+
+TEST(AdvisorTest, ModeledProbeIsDeterministic) {
+  // Two advisor runs over the same matrix must agree bit-for-bit on the
+  // ranking and the predicted speeds -- the property the measured probe
+  // cannot give and the reason the seam exists.
+  DenseMatrix m = GenerateDatasetRows(DatasetByName("Census"), 600);
+  AdvisorConstraints constraints;
+  constraints.speed_probe = SpeedProbe::kModeled;
+  AdvisorReport first = AdviseFormat(m, constraints);
+  AdvisorReport second = AdviseFormat(m, constraints);
+  ASSERT_EQ(first.estimates.size(), second.estimates.size());
+  EXPECT_EQ(first.recommended, second.recommended);
+  for (std::size_t i = 0; i < first.estimates.size(); ++i) {
+    EXPECT_EQ(first.estimates[i].format, second.estimates[i].format);
+    EXPECT_EQ(first.estimates[i].predicted_seconds_per_iteration,
+              second.estimates[i].predicted_seconds_per_iteration);
+    EXPECT_EQ(first.estimates[i].predicted_bytes,
+              second.estimates[i].predicted_bytes);
+  }
+  // Every modeled estimate is positive, so the fastest-first sort is
+  // total and the report stays meaningful.
+  for (const FormatEstimate& e : first.estimates) {
+    EXPECT_GT(e.predicted_seconds_per_iteration, 0.0);
+  }
+}
+
+TEST(AdvisorTest, ProbeSpecKeySelectsModeledProbe) {
+  // The spec grammar exposes the seam: "auto?probe=modeled" must build,
+  // and an unknown probe value must be rejected loudly.
+  DenseMatrix m = GenerateDatasetRows(DatasetByName("Census"), 300);
+  AnyMatrix built = AnyMatrix::Build(m, "auto?probe=modeled");
+  EXPECT_EQ(built.rows(), m.rows());
+  EXPECT_THROW(AnyMatrix::Build(m, "auto?probe=guesswork"),
+               std::invalid_argument);
 }
 
 TEST(AdvisorTest, ToStringMentionsEveryFormat) {

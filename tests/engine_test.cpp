@@ -54,6 +54,7 @@ std::vector<std::string> ConformanceSpecs() {
   specs.push_back("gcm:re_iv?max_rules=8");
   specs.push_back("cla?co_code=0");
   specs.push_back("auto?budget=64MiB&blocks=2");
+  specs.push_back("auto?probe=modeled");
   // Inner specs escape '&' as '+'; the escaped form must conform too.
   specs.push_back("sharded?inner=gcm:re_ans?blocks=2+fold_bits=10&shards=3");
   return specs;
@@ -139,6 +140,64 @@ TEST_P(EngineConformanceTest, PoolAndNoPoolAgree) {
             1e-9);
   EXPECT_LT(MaxAbsDiff(m.MultiplyLeft(y), m.MultiplyLeft(y, {&pool})),
             1e-9);
+}
+
+TEST_P(EngineConformanceTest, MultiVectorMatchesSequentialBitwise) {
+  // The batching server coalesces k single-vector requests into one
+  // MultiplyRightMulti / MultiplyLeftMulti call; its correctness argument
+  // is exactly this contract: vector j of the multi-vector result is
+  // BITWISE identical to the sequential single-vector call on input j.
+  DenseMatrix dense = TestMatrix();
+  AnyMatrix m = AnyMatrix::Build(dense, GetParam());
+  Rng rng(80);
+  const std::size_t k = 3;
+
+  DenseMatrix xs(dense.cols(), k);
+  for (std::size_t j = 0; j < k; ++j) {
+    std::vector<double> x = RandomVector(dense.cols(), &rng);
+    for (std::size_t r = 0; r < dense.cols(); ++r) xs.Set(r, j, x[r]);
+  }
+  DenseMatrix right = m.MultiplyRightMulti(xs);
+  ASSERT_EQ(right.rows(), dense.rows());
+  ASSERT_EQ(right.cols(), k);
+  for (std::size_t j = 0; j < k; ++j) {
+    std::vector<double> x(dense.cols());
+    for (std::size_t r = 0; r < dense.cols(); ++r) x[r] = xs.At(r, j);
+    std::vector<double> expect = m.MultiplyRight(x);
+    for (std::size_t r = 0; r < dense.rows(); ++r) {
+      ASSERT_EQ(right.At(r, j), expect[r]) << "column " << j << " row " << r;
+    }
+  }
+
+  DenseMatrix ys(k, dense.rows());
+  for (std::size_t j = 0; j < k; ++j) {
+    std::vector<double> y = RandomVector(dense.rows(), &rng);
+    for (std::size_t c = 0; c < dense.rows(); ++c) ys.Set(j, c, y[c]);
+  }
+  DenseMatrix left = m.MultiplyLeftMulti(ys);
+  ASSERT_EQ(left.rows(), k);
+  ASSERT_EQ(left.cols(), dense.cols());
+  for (std::size_t j = 0; j < k; ++j) {
+    std::vector<double> y(dense.rows());
+    for (std::size_t c = 0; c < dense.rows(); ++c) y[c] = ys.At(j, c);
+    std::vector<double> expect = m.MultiplyLeft(y);
+    for (std::size_t c = 0; c < dense.cols(); ++c) {
+      ASSERT_EQ(left.At(j, c), expect[c]) << "row " << j << " col " << c;
+    }
+  }
+
+  // Pooled multi stays numerically consistent (bitwise is only promised
+  // against the sequential single-vector call, which the loop above pins).
+  ThreadPool pool(3);
+  EXPECT_LT(DenseMatrix::MaxAbsDiff(m.MultiplyRightMulti(xs, {&pool}), right),
+            1e-9);
+  EXPECT_LT(DenseMatrix::MaxAbsDiff(m.MultiplyLeftMulti(ys, {&pool}), left),
+            1e-9);
+
+  DenseMatrix bad(dense.cols() + 1, k);
+  EXPECT_THROW(m.MultiplyRightMulti(bad), Error);
+  DenseMatrix bad_left(k, dense.rows() + 1);
+  EXPECT_THROW(m.MultiplyLeftMulti(bad_left), Error);
 }
 
 TEST_P(EngineConformanceTest, PowerIterationMatchesDense) {
