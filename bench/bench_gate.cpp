@@ -219,6 +219,23 @@ int SelfTest(const std::string& tmp_dir) {
   // Sub-threshold noise is ignored entirely.
   expect(RunGate(base, bad, 2.0, 100.0) == 0, "min-value filter passes");
 
+  // Rows with extra user counters (micro_kernels emits bytes_per_second /
+  // rows_per_second columns) must still gate on cpu_time found by header
+  // index, and the counter values themselves must never be gated.
+  const char* gb_counters_header =
+      "name,iterations,real_time,cpu_time,time_unit,bytes_per_second,"
+      "items_per_second,label,error_occurred,error_message,rows_per_second\n";
+  WriteFile(base, std::string(gb_counters_header) +
+                      "BM_MvmRightRe32,100,2.1,2.0,us,9.9e9,,,,,5e6\n");
+  WriteFile(good, std::string(gb_counters_header) +
+                      "BM_MvmRightRe32,100,2.6,2.5,us,1.0e9,,,,,4e5\n");
+  WriteFile(bad, std::string(gb_counters_header) +
+                     "BM_MvmRightRe32,100,9.1,9.0,us,9.9e9,,,,,5e6\n");
+  expect(RunGate(base, good, 2.0, 0.0) == 0,
+         "gb+counters: slower GB/s column alone passes");
+  expect(RunGate(base, bad, 2.0, 0.0) == 1,
+         "gb+counters: 4.5x cpu_time still fails");
+
   if (failures == 0) std::printf("bench_gate self-test: all checks passed\n");
   return failures == 0 ? 0 : 1;
 }

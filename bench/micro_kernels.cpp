@@ -25,10 +25,25 @@
 #include "matrix/datasets.hpp"
 #include "reorder/column_similarity.hpp"
 #include "util/rng.hpp"
+#include "util/simd.hpp"
 #include "util/thread_pool.hpp"
 
 namespace gcm {
 namespace {
+
+/// Attaches the throughput columns the bench gate tracks for the MVM-style
+/// kernels: bytes_per_second (GB/s over the *compressed* payload -- the
+/// bandwidth the compressed kernel actually streams) and rows_per_second.
+void SetMvmThroughput(benchmark::State& state, u64 compressed_bytes,
+                      std::size_t rows_per_iteration) {
+  state.SetBytesProcessed(
+      state.iterations() *
+      static_cast<benchmark::IterationCount>(compressed_bytes));
+  state.counters["rows_per_second"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) *
+          static_cast<double>(rows_per_iteration),
+      benchmark::Counter::kIsRate);
+}
 
 const DenseMatrix& CensusMatrix() {
   static const DenseMatrix matrix =
@@ -128,6 +143,7 @@ void MvmRight(benchmark::State& state, GcFormat format) {
     std::vector<double> y = gc.MultiplyRight(x);
     benchmark::DoNotOptimize(y.data());
   }
+  SetMvmThroughput(state, gc.CompressedBytes(), gc.rows());
 }
 void BM_MvmRightCsrv(benchmark::State& s) { MvmRight(s, GcFormat::kCsrv); }
 void BM_MvmRightRe32(benchmark::State& s) { MvmRight(s, GcFormat::kRe32); }
@@ -145,6 +161,7 @@ void MvmLeft(benchmark::State& state, GcFormat format) {
     std::vector<double> x = gc.MultiplyLeft(y);
     benchmark::DoNotOptimize(x.data());
   }
+  SetMvmThroughput(state, gc.CompressedBytes(), gc.rows());
 }
 void BM_MvmLeftCsrv(benchmark::State& s) { MvmLeft(s, GcFormat::kCsrv); }
 void BM_MvmLeftRe32(benchmark::State& s) { MvmLeft(s, GcFormat::kRe32); }
@@ -154,6 +171,97 @@ BENCHMARK(BM_MvmLeftCsrv)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_MvmLeftRe32)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_MvmLeftReIv)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_MvmLeftReAns)->Unit(benchmark::kMicrosecond);
+
+// Multi-vector kernels at the batching server's grain (k = 16): one
+// grammar expansion serves 16 vectors, so the kb-wide accumulate loops
+// (simd::Add / simd::Axpy) dominate -- these are the rows the SIMD gate
+// watches most closely.
+constexpr std::size_t kMultiK = 16;
+
+DenseMatrix RandomDense(std::size_t rows, std::size_t cols, u64 seed) {
+  Rng rng(seed);
+  DenseMatrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      m.Set(r, c, rng.NextDouble() * 2.0 - 1.0);
+    }
+  }
+  return m;
+}
+
+void MvmRightMulti(benchmark::State& state, const std::string& spec) {
+  AnyMatrix m = AnyMatrix::Build(CensusMatrix(), spec);
+  DenseMatrix x = RandomDense(m.cols(), kMultiK, 11);
+  for (auto _ : state) {
+    DenseMatrix y = m.MultiplyRightMulti(x);
+    benchmark::DoNotOptimize(y.At(0, 0));
+  }
+  SetMvmThroughput(state, m.CompressedBytes(), m.rows() * kMultiK);
+}
+void BM_MvmRightMulti16Re32(benchmark::State& s) {
+  MvmRightMulti(s, "gcm:re_32");
+}
+void BM_MvmRightMulti16Csrv(benchmark::State& s) {
+  MvmRightMulti(s, "gcm:csrv");
+}
+BENCHMARK(BM_MvmRightMulti16Re32)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_MvmRightMulti16Csrv)->Unit(benchmark::kMicrosecond);
+
+void BM_MvmLeftMulti16Re32(benchmark::State& state) {
+  AnyMatrix m = AnyMatrix::Build(CensusMatrix(), "gcm:re_32");
+  DenseMatrix x = RandomDense(kMultiK, m.rows(), 12);
+  for (auto _ : state) {
+    DenseMatrix y = m.MultiplyLeftMulti(x);
+    benchmark::DoNotOptimize(y.At(0, 0));
+  }
+  SetMvmThroughput(state, m.CompressedBytes(), m.rows() * kMultiK);
+}
+BENCHMARK(BM_MvmLeftMulti16Re32)->Unit(benchmark::kMicrosecond);
+
+// Raw facade primitive: the peak the kb-wide kernels chase. The run name
+// carries the compiled backend so scalar and avx2 CSVs are tellable apart.
+void BM_SimdAxpy(benchmark::State& state) {
+  constexpr std::size_t kN = 4096;
+  std::vector<double> x = RandomVector(kN, 13);
+  std::vector<double> out(kN, 0.0);
+  double v = 1.000000059604645;  // keeps out finite across iterations
+  for (auto _ : state) {
+    simd::Axpy(out.data(), v, x.data(), kN);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(
+      state.iterations() *
+      static_cast<benchmark::IterationCount>(2 * kN * sizeof(double)));
+  state.SetLabel(simd::BackendName());
+}
+BENCHMARK(BM_SimdAxpy);
+
+// Row extraction with and without the hot-rule expansion cache: the cold
+// variant re-walks the grammar per row, the hot one streams cached
+// terminal expansions (assignment-style path; see
+// GcMatrix::ConfigureRuleCache).
+void ExtractRows(benchmark::State& state, u64 cache_bytes) {
+  GcMatrix gc = GcMatrix::FromCsrv(CensusCsrv(), {GcFormat::kRe32, 12, 0});
+  gc.ConfigureRuleCache(cache_bytes);
+  std::size_t r = 0;
+  for (auto _ : state) {
+    std::vector<double> row = gc.ExtractRow(r);
+    benchmark::DoNotOptimize(row.data());
+    r = (r + 1) % gc.rows();
+  }
+  state.counters["rows_per_second"] =
+      benchmark::Counter(static_cast<double>(state.iterations()),
+                         benchmark::Counter::kIsRate);
+  RuleCacheStats cache = gc.rule_cache_stats();
+  state.counters["cache_hits"] =
+      benchmark::Counter(static_cast<double>(cache.hits));
+}
+void BM_ExtractRowCold(benchmark::State& s) { ExtractRows(s, 0); }
+void BM_ExtractRowHotCache(benchmark::State& s) {
+  ExtractRows(s, 4ull << 20);
+}
+BENCHMARK(BM_ExtractRowCold)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ExtractRowHotCache)->Unit(benchmark::kMicrosecond);
 
 void BM_CsmCompute(benchmark::State& state) {
   DenseMatrix m = GenerateDatasetRows(DatasetByName("Covtype"), 512);

@@ -195,6 +195,10 @@ int main(int argc, char** argv) {
               "threads); artifact bytes are identical either way");
   cli.AddFlag("eager", "false",
               "load every shard at open instead of on first touch");
+  cli.AddFlag("stats", "false",
+              "after the demo, run a full dense audit of the served matrix "
+              "and print the kernel's aggregated runtime counters (rule "
+              "cache hits/misses/bytes; see the gcm rule_cache spec key)");
   if (!cli.Parse(argc, argv)) return 0;
 
   std::string snapshot_path = cli.GetString("snapshot");
@@ -303,6 +307,31 @@ int main(int argc, char** argv) {
                 config.max_resident_shards, sharded->LoadedShardCount());
   }
   server.Stop();
+
+  if (cli.GetBool("stats")) {
+    // Kernel-level audit: a full ToDense() drives the grammar-expansion
+    // path (the hot-rule cache's workload when the spec configures one,
+    // e.g. --spec "gcm:re_ans?rule_cache=1MiB"), then the engine's
+    // aggregated counters show what the cache did across every block.
+    DenseMatrix audit = served.ToDense();
+    double audit_sum = 0.0;
+    for (std::size_t r = 0; r < audit.rows(); ++r) {
+      for (std::size_t c = 0; c < audit.cols(); ++c) {
+        audit_sum += audit.At(r, c);
+      }
+    }
+    KernelStats ks = served.Stats();
+    std::printf("kernel stats after dense audit (checksum %.3f):\n",
+                audit_sum);
+    std::printf("  rule cache: %llu hits, %llu misses, %llu evictions\n",
+                static_cast<unsigned long long>(ks.rule_cache_hits),
+                static_cast<unsigned long long>(ks.rule_cache_misses),
+                static_cast<unsigned long long>(ks.rule_cache_evictions));
+    std::printf("  rule cache: %llu entries, %s resident of %s capacity\n",
+                static_cast<unsigned long long>(ks.rule_cache_entries),
+                FormatBytes(ks.rule_cache_bytes_resident).c_str(),
+                FormatBytes(ks.rule_cache_capacity_bytes).c_str());
+  }
 
   std::printf("serving correctness: max diff vs local oracle = %.2e\n",
               max_diff);

@@ -7,6 +7,7 @@
 
 #include "encoding/byte_stream.hpp"
 #include "util/enum_names.hpp"
+#include "util/partials.hpp"
 
 namespace gcm {
 namespace {
@@ -423,15 +424,13 @@ void ClaMatrix::MultiplyRightInto(std::span<const double> x,
     for (const Group& group : groups_) MultiplyRightGroup(group, x, y);
     return;
   }
-  // Groups write to overlapping rows, so each task uses a private partial.
-  std::vector<std::vector<double>> partials(groups_.size());
+  // Groups write to overlapping rows, so each task uses a private partial
+  // (shared scatter-reduce helper; reduced in group order, deterministic).
+  PartialVectors partials(groups_.size(), rows_);
   pool->ParallelFor(groups_.size(), [&](std::size_t g) {
-    partials[g].assign(rows_, 0.0);
-    MultiplyRightGroup(groups_[g], x, partials[g]);
+    MultiplyRightGroup(groups_[g], x, partials.part(g));
   });
-  for (const auto& partial : partials) {
-    for (std::size_t r = 0; r < rows_; ++r) y[r] += partial[r];
-  }
+  partials.AccumulateInto(y);
 }
 
 void ClaMatrix::MultiplyLeftInto(std::span<const double> y,

@@ -89,11 +89,20 @@ std::string BackendTag(const M& m) {
   } else if constexpr (std::is_same_v<M, CsrvMatrix>) {
     return "csrv";
   } else if constexpr (std::is_same_v<M, GcMatrix>) {
-    return std::string("gcm:") + FormatName(m.format());
+    std::string tag = std::string("gcm:") + FormatName(m.format());
+    // Key order matches MatrixSpec::ToString (alphabetical), so a spec
+    // string round-trips through Build + FormatTag unchanged.
+    if (m.rule_cache_capacity() > 0) {
+      tag += "?rule_cache=" + std::to_string(m.rule_cache_capacity());
+    }
+    return tag;
   } else if constexpr (std::is_same_v<M, BlockedGcMatrix>) {
     std::string tag = "gcm:";
     tag += m.block_count() > 0 ? FormatName(m.block(0).format()) : "re_32";
     tag += "?blocks=" + std::to_string(m.block_count());
+    if (m.rule_cache_capacity() > 0) {
+      tag += "&rule_cache=" + std::to_string(m.rule_cache_capacity());
+    }
     return tag;
   } else {
     static_assert(std::is_same_v<M, ClaMatrix>, "unmapped backend type");
@@ -161,6 +170,13 @@ class KernelAdapter final : public IMatrixKernel {
     }
   }
 
+  void CollectStats(KernelStats* stats) const override {
+    // Backends without runtime counters keep the no-op default.
+    if constexpr (requires { matrix_->CollectStats(stats); }) {
+      matrix_->CollectStats(stats);
+    }
+  }
+
   void SaveSections(SnapshotWriter* out) const override {
     matrix_->SerializeInto(&out->BeginSection(PayloadSectionName<M>()));
   }
@@ -205,17 +221,22 @@ struct SpecFamily {
 /// with the section name attached, so corruption reports say *where* the
 /// file broke, not just how.
 template <typename M>
-AnyMatrix LoadPayloadSection(const SnapshotReader& in) {
+M LoadPayloadMatrix(const SnapshotReader& in) {
   const char* section = PayloadSectionName<M>();
   ByteReader reader = in.OpenSection(section);
   try {
     M matrix = M::DeserializeFrom(&reader);
     GCM_CHECK_MSG(reader.AtEnd(), "trailing bytes");
-    return AnyMatrix::Wrap(std::move(matrix));
+    return matrix;
   } catch (const Error& e) {
     throw Error("snapshot section \"" + std::string(section) +
                 "\" is corrupt: " + e.what());
   }
+}
+
+template <typename M>
+AnyMatrix LoadPayloadSection(const SnapshotReader& in) {
+  return AnyMatrix::Wrap(LoadPayloadMatrix<M>(in));
 }
 
 AnyMatrix BuildDenseSpec(const DenseMatrix& dense, const MatrixSpec&,
@@ -251,11 +272,16 @@ AnyMatrix BuildGcmSpec(const DenseMatrix& dense, const MatrixSpec& spec,
                        const BuildContext& ctx) {
   GcBuildOptions options = GcOptionsFromSpec(spec);
   std::size_t blocks = spec.GetSize("blocks", 1);
+  u64 rule_cache = spec.GetBytes("rule_cache", 0);
   if (blocks > 1) {
-    return AnyMatrix::Wrap(
-        BlockedGcMatrix::Build(dense, blocks, options, {}, ctx));
+    BlockedGcMatrix blocked =
+        BlockedGcMatrix::Build(dense, blocks, options, {}, ctx);
+    blocked.ConfigureRuleCache(rule_cache);
+    return AnyMatrix::Wrap(std::move(blocked));
   }
-  return AnyMatrix::Wrap(GcMatrix::FromDense(dense, options));
+  GcMatrix gcm = GcMatrix::FromDense(dense, options);
+  gcm.ConfigureRuleCache(rule_cache);
+  return AnyMatrix::Wrap(std::move(gcm));
 }
 
 AnyMatrix BuildClaSpec(const DenseMatrix& dense, const MatrixSpec& spec,
@@ -312,12 +338,20 @@ AnyMatrix LoadCsrvSnapshot(const SnapshotReader& in, const MatrixSpec&,
   return LoadPayloadSection<CsrvMatrix>(in);
 }
 
-AnyMatrix LoadGcmSnapshot(const SnapshotReader& in, const MatrixSpec&,
+AnyMatrix LoadGcmSnapshot(const SnapshotReader& in, const MatrixSpec& spec,
                           const std::string&) {
+  // The rule cache is runtime configuration, not payload: the snapshot
+  // stores only the capacity inside its spec tag, and the cache itself is
+  // rebuilt (re-warmed) here, so snapshot bytes stay cache-agnostic.
+  u64 rule_cache = spec.GetBytes("rule_cache", 0);
   if (in.HasSection(PayloadSectionName<BlockedGcMatrix>())) {
-    return LoadPayloadSection<BlockedGcMatrix>(in);
+    BlockedGcMatrix blocked = LoadPayloadMatrix<BlockedGcMatrix>(in);
+    blocked.ConfigureRuleCache(rule_cache);
+    return AnyMatrix::Wrap(std::move(blocked));
   }
-  return LoadPayloadSection<GcMatrix>(in);
+  GcMatrix gcm = LoadPayloadMatrix<GcMatrix>(in);
+  gcm.ConfigureRuleCache(rule_cache);
+  return AnyMatrix::Wrap(std::move(gcm));
 }
 
 AnyMatrix LoadClaSnapshot(const SnapshotReader& in, const MatrixSpec&,
@@ -333,7 +367,7 @@ const std::vector<SpecFamily>& Registry() {
       {"csrv", {}, {}, &BuildCsrvSpec, &LoadCsrvSnapshot},
       {"gcm",
        {"csrv", "re_32", "re_iv", "re_ans"},
-       {"blocks", "fold_bits", "max_rules"},
+       {"blocks", "fold_bits", "max_rules", "rule_cache"},
        &BuildGcmSpec,
        &LoadGcmSnapshot},
       {"cla",
@@ -586,13 +620,18 @@ AnyMatrix AnyMatrix::Build(std::size_t rows, std::size_t cols,
   if (spec.family == "gcm") {
     GcBuildOptions options = GcOptionsFromSpec(spec);
     std::size_t blocks = spec.GetSize("blocks", 1);
+    u64 rule_cache = spec.GetBytes("rule_cache", 0);
     if (blocks > 1) {
-      return Wrap(BlockedGcMatrix::FromCsrv(
+      BlockedGcMatrix blocked = BlockedGcMatrix::FromCsrv(
           CsrvFromTriplets(rows, cols, std::move(entries)), blocks, options,
-          ctx));
+          ctx);
+      blocked.ConfigureRuleCache(rule_cache);
+      return Wrap(std::move(blocked));
     }
-    return Wrap(GcMatrix::FromTriplets(rows, cols, std::move(entries),
-                                       options));
+    GcMatrix gcm =
+        GcMatrix::FromTriplets(rows, cols, std::move(entries), options);
+    gcm.ConfigureRuleCache(rule_cache);
+    return Wrap(std::move(gcm));
   }
   if (spec.family == "sharded") {
     // Buckets triplets per row range; each bucket reuses the inner spec's
@@ -643,6 +682,8 @@ AnyMatrix AnyMatrix::Ref(const ClaMatrix& matrix) { return MakeRef(matrix); }
 // ---------------------------------------------------------------------------
 // Snapshot persistence
 // ---------------------------------------------------------------------------
+
+void IMatrixKernel::CollectStats(KernelStats*) const {}
 
 void IMatrixKernel::SaveSections(SnapshotWriter*) const {
   throw Error("backend \"" + FormatTag() +
@@ -839,5 +880,11 @@ DenseMatrix AnyMatrix::MultiplyLeftMulti(const DenseMatrix& x,
 }
 
 DenseMatrix AnyMatrix::ToDense() const { return kernel().ToDense(); }
+
+KernelStats AnyMatrix::Stats() const {
+  KernelStats stats;
+  kernel().CollectStats(&stats);
+  return stats;
+}
 
 }  // namespace gcm

@@ -53,6 +53,7 @@
 #include <vector>
 
 #include "core/build_context.hpp"
+#include "core/kernel_stats.hpp"
 #include "util/common.hpp"
 
 namespace gcm {
@@ -117,6 +118,10 @@ class IMatrixKernel {
 
   /// Materializes the dense equivalent (testing / conversion).
   virtual DenseMatrix ToDense() const = 0;
+
+  /// Adds the backend's runtime counters (rule-cache hits/misses/bytes)
+  /// into `stats`; containers forward to their children. Default: no-op.
+  virtual void CollectStats(KernelStats* stats) const;
 
   /// Writes the backend's snapshot sections (the engine adds the "meta"
   /// section and the container header itself). The default rejects the
@@ -247,6 +252,10 @@ class AnyMatrix {
                                 const MulContext& ctx = {}) const;
 
   DenseMatrix ToDense() const;
+
+  /// Aggregated runtime counters of the whole kernel tree (one call on a
+  /// sharded-over-blocked-gcm matrix sums every resident block's cache).
+  KernelStats Stats() const;
 
   const IMatrixKernel& kernel() const;
 

@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "matrix/csr.hpp"
+#include "util/partials.hpp"
 
 namespace gcm {
 
@@ -112,7 +113,13 @@ void BlockedGcMatrix::MultiplyRightInto(std::span<const double> x,
   if (pool != nullptr) {
     pool->ParallelFor(blocks_.size(), run_block);
   } else {
-    for (std::size_t b = 0; b < blocks_.size(); ++b) run_block(b);
+    // Sequential walk: hint block b+1's payload into cache while block b
+    // computes, hiding the first-touch miss of each C/R array. (Pooled
+    // runs interleave blocks across workers, so there is no "next".)
+    for (std::size_t b = 0; b < blocks_.size(); ++b) {
+      if (b + 1 < blocks_.size()) blocks_[b + 1].PrefetchPayload();
+      run_block(b);
+    }
   }
 }
 
@@ -121,21 +128,23 @@ void BlockedGcMatrix::MultiplyLeftInto(std::span<const double> y,
                                        ThreadPool* pool) const {
   GCM_CHECK_MSG(y.size() == rows_, "MultiplyLeft: wrong vector length");
   GCM_CHECK_MSG(x.size() == cols_, "MultiplyLeft: wrong output length");
-  std::vector<std::vector<double>> partials(blocks_.size());
+  // One cols-wide partial per block, reduced in block order (shared
+  // scatter-reduce helper; deterministic with and without a pool).
+  PartialVectors partials(blocks_.size(), cols_);
   auto run_block = [&](std::size_t b) {
-    partials[b].resize(cols_);
     blocks_[b].MultiplyLeftInto(y.subspan(row_offsets_[b], blocks_[b].rows()),
-                                partials[b]);
+                                partials.part(b));
   };
   if (pool != nullptr) {
     pool->ParallelFor(blocks_.size(), run_block);
   } else {
-    for (std::size_t b = 0; b < blocks_.size(); ++b) run_block(b);
+    for (std::size_t b = 0; b < blocks_.size(); ++b) {
+      if (b + 1 < blocks_.size()) blocks_[b + 1].PrefetchPayload();
+      run_block(b);
+    }
   }
   std::fill(x.begin(), x.end(), 0.0);
-  for (const std::vector<double>& partial : partials) {
-    for (std::size_t j = 0; j < cols_; ++j) x[j] += partial[j];
-  }
+  partials.AccumulateInto(x);
 }
 
 void BlockedGcMatrix::SerializeInto(ByteWriter* writer) const {
@@ -179,6 +188,20 @@ BlockedGcMatrix BlockedGcMatrix::DeserializeFrom(ByteReader* reader) {
                 "blocks cover " << covered << " rows, container declares "
                                 << out.rows_);
   return out;
+}
+
+void BlockedGcMatrix::ConfigureRuleCache(u64 capacity_bytes) {
+  rule_cache_capacity_ = capacity_bytes;
+  if (blocks_.empty()) return;
+  const u64 per_block = capacity_bytes / blocks_.size();
+  const u64 remainder = capacity_bytes % blocks_.size();
+  for (std::size_t b = 0; b < blocks_.size(); ++b) {
+    blocks_[b].ConfigureRuleCache(per_block + (b == 0 ? remainder : 0));
+  }
+}
+
+void BlockedGcMatrix::CollectStats(KernelStats* stats) const {
+  for (const GcMatrix& block : blocks_) block.CollectStats(stats);
 }
 
 DenseMatrix BlockedGcMatrix::ToDense() const {

@@ -1,9 +1,13 @@
 #include "core/gc_matrix.hpp"
 
 #include <algorithm>
+#include <numeric>
 
 #include "util/check.hpp"
 #include "util/enum_names.hpp"
+#include "util/fast_div.hpp"
+#include "util/partials.hpp"
+#include "util/simd.hpp"
 #include "util/thread_pool.hpp"
 
 namespace gcm {
@@ -191,6 +195,15 @@ namespace {
 /// its extra sentinel-counting pass.
 constexpr std::size_t kParallelScanGrain = 4096;
 
+/// Magic-multiply divisor for decoding packed terminals
+/// (value_id = packed / cols, column = packed - value_id * cols); exact,
+/// so symbol decoding is bitwise unchanged. A zero-column block's
+/// alphabet is just the sentinel -- no terminal is ever decoded -- so the
+/// placeholder divisor only keeps construction legal.
+U32Divisor ColsDivisor(std::size_t cols) {
+  return U32Divisor(cols == 0 ? 1u : static_cast<u32>(cols));
+}
+
 }  // namespace
 
 u32 GcMatrix::FinalSymbolAt(std::size_t i) const {
@@ -212,6 +225,15 @@ std::vector<std::size_t> GcMatrix::ChunkRowStarts(std::size_t chunks,
   pool->ParallelFor(chunks, [&](std::size_t c) {
     std::size_t begin = c * per_chunk;
     std::size_t end = std::min(c_length_, begin + per_chunk);
+    // Only the random-access formats reach here (re_ans scans run with
+    // chunks == 1); the plain u32 encodings count sentinels with the
+    // vectorized exact-match primitive, bit-packed C walks element-wise.
+    if (format_ != GcFormat::kReIv) {
+      counts[c] =
+          simd::CountEqualsU32(c_plain_.data() + begin, end - begin,
+                               kCsrvSentinel);
+      return;
+    }
     std::size_t sentinels = 0;
     for (std::size_t i = begin; i < end; ++i) {
       if (FinalSymbolAt(i) == kCsrvSentinel) ++sentinels;
@@ -236,6 +258,7 @@ void GcMatrix::MultiplyRightInto(std::span<const double> x,
   GCM_CHECK_MSG(y.size() == rows_, "MultiplyRight: wrong output length");
   const std::vector<double>& dict = *dict_;
   const u32 cols = static_cast<u32>(cols_);
+  const U32Divisor by_cols = ColsDivisor(cols_);
 
   // Forward pass over R: W[i] = eval_x(N_i) (Lemma 3.2; each side is either
   // a terminal pair evaluated directly or an earlier nonterminal). Rules
@@ -251,8 +274,9 @@ void GcMatrix::MultiplyRightInto(std::span<const double> x,
     }
     if (symbol == kCsrvSentinel) return 0.0;  // never occurs inside rules
     u32 packed = symbol - 1;
-    GCM_DCHECK_BOUNDS(packed / cols, dict.size());
-    return dict[packed / cols] * x[packed % cols];
+    u32 value_id = by_cols.Divide(packed);
+    GCM_DCHECK_BOUNDS(value_id, dict.size());
+    return dict[value_id] * x[packed - value_id * cols];
   };
   for (std::size_t i = 0; i < rule_count_; ++i) {
     w[i] = eval(RuleLeft(i)) + eval(RuleRight(i));
@@ -286,6 +310,7 @@ void GcMatrix::ParallelRightScan(std::span<const double> x,
                                  std::size_t chunks, ThreadPool* pool) const {
   const std::vector<double>& dict = *dict_;
   const u32 cols = static_cast<u32>(cols_);
+  const U32Divisor by_cols = ColsDivisor(cols_);
   std::vector<std::size_t> row_start = ChunkRowStarts(chunks, pool);
   std::size_t per_chunk = (c_length_ + chunks - 1) / chunks;
 
@@ -310,8 +335,9 @@ void GcMatrix::ParallelRightScan(std::span<const double> x,
           acc += w[symbol - alphabet_size_];
         } else {
           u32 packed = symbol - 1;
-          GCM_DCHECK_BOUNDS(packed / cols, dict.size());
-          acc += dict[packed / cols] * x[packed % cols];
+          u32 value_id = by_cols.Divide(packed);
+          GCM_DCHECK_BOUNDS(value_id, dict.size());
+          acc += dict[value_id] * x[packed - value_id * cols];
         }
         continue;
       }
@@ -354,6 +380,7 @@ void GcMatrix::MultiplyLeftInto(std::span<const double> y,
   GCM_CHECK_MSG(x.size() == cols_, "MultiplyLeft: wrong output length");
   const std::vector<double>& dict = *dict_;
   const u32 cols = static_cast<u32>(cols_);
+  const U32Divisor by_cols = ColsDivisor(cols_);
   std::fill(x.begin(), x.end(), 0.0);
 
   // Scan of C: seed W with row weights for nonterminals appearing in C;
@@ -375,9 +402,10 @@ void GcMatrix::MultiplyLeftInto(std::span<const double> y,
         w[symbol - alphabet_size_] += y[row];
       } else {
         u32 packed = symbol - 1;
-        GCM_DCHECK_BOUNDS(packed / cols, dict.size());
+        u32 value_id = by_cols.Divide(packed);
+        GCM_DCHECK_BOUNDS(value_id, dict.size());
         GCM_DCHECK_BOUNDS(row, rows_);
-        x[packed % cols] += y[row] * dict[packed / cols];
+        x[packed - value_id * cols] += y[row] * dict[value_id];
       }
     });
     GCM_CHECK_MSG(row == rows_, "compressed sequence closed " << row
@@ -396,8 +424,9 @@ void GcMatrix::MultiplyLeftInto(std::span<const double> y,
         w[symbol - alphabet_size_] += weight;
       } else {
         u32 packed = symbol - 1;
-        GCM_DCHECK_BOUNDS(packed / cols, dict.size());
-        x[packed % cols] += dict[packed / cols] * weight;
+        u32 value_id = by_cols.Divide(packed);
+        GCM_DCHECK_BOUNDS(value_id, dict.size());
+        x[packed - value_id * cols] += dict[value_id] * weight;
       }
     }
   }
@@ -408,22 +437,21 @@ void GcMatrix::ParallelLeftScan(std::span<const double> y,
                                 std::size_t chunks, ThreadPool* pool) const {
   const std::vector<double>& dict = *dict_;
   const u32 cols = static_cast<u32>(cols_);
+  const U32Divisor by_cols = ColsDivisor(cols_);
   std::vector<std::size_t> row_start = ChunkRowStarts(chunks, pool);
   std::size_t per_chunk = (c_length_ + chunks - 1) / chunks;
 
   // Chunks scatter into W and x, so each keeps private accumulators
   // (O(chunks * (|R| + cols)) words, the same order as the multi-vector
-  // kernels' auxiliary space); the reduction below restores determinism-
-  // free correctness without atomics.
-  std::vector<std::vector<double>> w_parts(chunks);
-  std::vector<std::vector<double>> x_parts(chunks);
+  // kernels' auxiliary space); the chunk-order reduction restores
+  // scheduling-independent determinism without atomics.
+  PartialVectors w_parts(chunks, rule_count_);
+  PartialVectors x_parts(chunks, cols_);
   pool->ParallelFor(chunks, [&](std::size_t c) {
     std::size_t begin = c * per_chunk;
     std::size_t end = std::min(c_length_, begin + per_chunk);
-    std::vector<double>& local_w = w_parts[c];
-    std::vector<double>& local_x = x_parts[c];
-    local_w.assign(rule_count_, 0.0);
-    local_x.assign(cols_, 0.0);
+    std::span<double> local_w = w_parts.part(c);
+    std::span<double> local_x = x_parts.part(c);
     std::size_t row = row_start[c];
     for (std::size_t i = begin; i < end; ++i) {
       u32 symbol = FinalSymbolAt(i);
@@ -437,16 +465,15 @@ void GcMatrix::ParallelLeftScan(std::span<const double> y,
         local_w[symbol - alphabet_size_] += y[row];
       } else {
         u32 packed = symbol - 1;
-        GCM_DCHECK_BOUNDS(packed / cols, dict.size());
+        u32 value_id = by_cols.Divide(packed);
+        GCM_DCHECK_BOUNDS(value_id, dict.size());
         GCM_DCHECK_BOUNDS(row, rows_);
-        local_x[packed % cols] += y[row] * dict[packed / cols];
+        local_x[packed - value_id * cols] += y[row] * dict[value_id];
       }
     }
   });
-  for (std::size_t c = 0; c < chunks; ++c) {
-    for (std::size_t j = 0; j < rule_count_; ++j) (*w)[j] += w_parts[c][j];
-    for (std::size_t j = 0; j < cols_; ++j) x[j] += x_parts[c][j];
-  }
+  w_parts.AccumulateInto(*w);
+  x_parts.AccumulateInto(x);
 }
 
 namespace {
@@ -478,8 +505,11 @@ void GcMatrix::MultiplyRightMultiRange(const DenseMatrix& x, DenseMatrix* y,
   const std::size_t kb = t1 - t0;  // batch width
   const std::vector<double>& dict = *dict_;
   const u32 cols = static_cast<u32>(cols_);
+  const U32Divisor by_cols = ColsDivisor(cols_);
 
   // W is rule_count x kb, filled forward as in the single-vector kernel.
+  // The kb-wide accumulates vectorize safely: lanes are independent
+  // columns of X, so simd::Add/Axpy change no per-lane summation order.
   std::vector<double> w(rule_count_ * kb, 0.0);
   std::vector<double> acc(kb, 0.0);
   auto add_symbol = [&](u32 symbol, double* out) {
@@ -487,16 +517,18 @@ void GcMatrix::MultiplyRightMultiRange(const DenseMatrix& x, DenseMatrix* y,
       GCM_DCHECK_BOUNDS(symbol - alphabet_size_, rule_count_);
       const double* row = w.data() + static_cast<std::size_t>(
                                          symbol - alphabet_size_) * kb;
-      for (std::size_t t = 0; t < kb; ++t) out[t] += row[t];
+      simd::Add(out, row, kb);
       return;
     }
     if (symbol == kCsrvSentinel) return;
     u32 packed = symbol - 1;
-    GCM_DCHECK_BOUNDS(packed / cols, dict.size());
-    double value = dict[packed / cols];
-    const double* x_row = x.data().data() +
-                          static_cast<std::size_t>(packed % cols) * k + t0;
-    for (std::size_t t = 0; t < kb; ++t) out[t] += value * x_row[t];
+    u32 value_id = by_cols.Divide(packed);
+    GCM_DCHECK_BOUNDS(value_id, dict.size());
+    double value = dict[value_id];
+    const double* x_row =
+        x.data().data() +
+        static_cast<std::size_t>(packed - value_id * cols) * k + t0;
+    simd::Axpy(out, value, x_row, kb);
   };
   for (std::size_t i = 0; i < rule_count_; ++i) {
     double* row = w.data() + i * kb;
@@ -537,6 +569,7 @@ void GcMatrix::MultiplyLeftMultiRange(const DenseMatrix& x, DenseMatrix* out,
   const std::size_t kb = t1 - t0;  // batch width
   const std::vector<double>& dict = *dict_;
   const u32 cols = static_cast<u32>(cols_);
+  const U32Divisor by_cols = ColsDivisor(cols_);
   std::vector<double> w(rule_count_ * kb, 0.0);
 
   std::size_t row = 0;
@@ -545,12 +578,14 @@ void GcMatrix::MultiplyLeftMultiRange(const DenseMatrix& x, DenseMatrix* out,
       GCM_DCHECK_BOUNDS(symbol - alphabet_size_, rule_count_);
       double* dest = w.data() + static_cast<std::size_t>(
                                     symbol - alphabet_size_) * kb;
-      for (std::size_t t = 0; t < kb; ++t) dest[t] += weights[t];
+      simd::Add(dest, weights, kb);
     } else {
       u32 packed = symbol - 1;
-      GCM_DCHECK_BOUNDS(packed / cols, dict.size());
-      double value = dict[packed / cols];
-      u32 column = packed % cols;
+      u32 value_id = by_cols.Divide(packed);
+      GCM_DCHECK_BOUNDS(value_id, dict.size());
+      double value = dict[value_id];
+      u32 column = packed - value_id * cols;
+      // Output columns are strided by cols, so this scatter stays scalar.
       for (std::size_t t = 0; t < kb; ++t) {
         out->Set(t0 + t, column,
                  out->At(t0 + t, column) + value * weights[t]);
@@ -570,14 +605,7 @@ void GcMatrix::MultiplyLeftMultiRange(const DenseMatrix& x, DenseMatrix* out,
                                   << " rows, expected " << rows_);
   for (std::size_t j = rule_count_; j-- > 0;) {
     const double* weights = w.data() + j * kb;
-    bool all_zero = true;
-    for (std::size_t t = 0; t < kb; ++t) {
-      if (weights[t] != 0.0) {
-        all_zero = false;
-        break;
-      }
-    }
-    if (all_zero) continue;
+    if (!simd::AnyNonZero(weights, kb)) continue;
     scatter(RuleLeft(j), weights);
     scatter(RuleRight(j), weights);
   }
@@ -597,22 +625,89 @@ DenseMatrix GcMatrix::MultiplyLeftMulti(const DenseMatrix& x,
   return out;
 }
 
-std::vector<u32> GcMatrix::DecompressSequence() const {
-  // Rebuild the SLP and expand C.
-  Slp slp(alphabet_size_, {});
-  for (std::size_t i = 0; i < rule_count_; ++i) {
-    slp.AddRule(RuleLeft(i), RuleRight(i));
+void GcMatrix::ExpandRuleTerminals(u32 rule, std::vector<u32>* out) const {
+  out->clear();
+  RuleCache* cache = rule_cache_.get();
+  std::vector<u32> stack;
+  stack.push_back(RuleRight(rule));
+  stack.push_back(RuleLeft(rule));
+  while (!stack.empty()) {
+    u32 top = stack.back();
+    stack.pop_back();
+    if (top < alphabet_size_) {
+      out->push_back(top);
+      continue;
+    }
+    u32 sub = top - alphabet_size_;
+    GCM_DCHECK_BOUNDS(sub, rule_count_);
+    if (cache != nullptr) {
+      // Cached sub-rules short-circuit whole subtrees; during warm-up the
+      // hotter children are admitted first, so parents mostly splice.
+      if (RuleCache::ExpansionPtr hit = cache->Lookup(sub)) {
+        out->insert(out->end(), hit->begin(), hit->end());
+        continue;
+      }
+    }
+    stack.push_back(RuleRight(sub));
+    stack.push_back(RuleLeft(sub));
   }
-  std::vector<u32> c;
-  c.reserve(c_length_);
-  ForEachFinalSymbol([&](u32 symbol) { c.push_back(symbol); });
-  return slp.ExpandSequence(c);
+}
+
+template <typename F>
+void GcMatrix::ExpandSymbol(u32 symbol, std::vector<u32>* stack,
+                            F&& emit) const {
+  if (symbol < alphabet_size_) {
+    emit(symbol);
+    return;
+  }
+  RuleCache* cache = rule_cache_.get();
+  stack->clear();
+  stack->push_back(symbol);
+  std::vector<u32> scratch;
+  while (!stack->empty()) {
+    u32 top = stack->back();
+    stack->pop_back();
+    if (top < alphabet_size_) {
+      emit(top);
+      continue;
+    }
+    u32 rule = top - alphabet_size_;
+    GCM_DCHECK_BOUNDS(rule, rule_count_);
+    if (cache != nullptr) {
+      if (RuleCache::ExpansionPtr hit = cache->Lookup(rule)) {
+        // The shared_ptr keeps the expansion alive while it streams even
+        // if a concurrent insert evicts the entry.
+        for (u32 t : *hit) emit(t);
+        continue;
+      }
+      // Demand-fill the miss: expand once, stream it, keep it for the
+      // next descent (evicting least-recently-used colder rules).
+      ExpandRuleTerminals(rule, &scratch);
+      for (u32 t : scratch) emit(t);
+      cache->Insert(rule, std::move(scratch));
+      continue;
+    }
+    stack->push_back(RuleRight(rule));
+    stack->push_back(RuleLeft(rule));
+  }
+}
+
+std::vector<u32> GcMatrix::DecompressSequence() const {
+  std::vector<u32> out;
+  out.reserve(c_length_);
+  std::vector<u32> stack;
+  ForEachFinalSymbol([&](u32 symbol) {
+    ExpandSymbol(symbol, &stack, [&](u32 t) { out.push_back(t); });
+  });
+  return out;
 }
 
 std::vector<double> GcMatrix::ExtractRow(std::size_t r) const {
   GCM_CHECK_MSG(r < rows_, "row " << r << " out of range");
   std::vector<double> row(cols_, 0.0);
   const std::vector<double>& dict = *dict_;
+  const u32 cols = static_cast<u32>(cols_);
+  const U32Divisor by_cols = ColsDivisor(cols_);
   std::size_t current = 0;
   // Expand only the C symbols that belong to row r; everything before is
   // skipped by sentinel counting, everything after is ignored.
@@ -623,37 +718,123 @@ std::vector<double> GcMatrix::ExtractRow(std::size_t r) const {
       return;
     }
     if (current != r) return;
-    stack.clear();
-    stack.push_back(symbol);
-    while (!stack.empty()) {
-      u32 top = stack.back();
-      stack.pop_back();
-      if (top >= alphabet_size_) {
-        std::size_t i = top - alphabet_size_;
-        stack.push_back(RuleRight(i));
-        stack.push_back(RuleLeft(i));
-        continue;
-      }
-      u32 packed = top - 1;
-      row[packed % cols_] = dict[packed / cols_];
-    }
+    // Rules never contain the sentinel, so every emitted terminal is a
+    // packed (value, column) pair.
+    ExpandSymbol(symbol, &stack, [&](u32 t) {
+      u32 packed = t - 1;
+      u32 value_id = by_cols.Divide(packed);
+      GCM_DCHECK_BOUNDS(value_id, dict.size());
+      row[packed - value_id * cols] = dict[value_id];
+    });
   });
   return row;
 }
 
 DenseMatrix GcMatrix::ToDense() const {
-  std::vector<u32> sequence = DecompressSequence();
   DenseMatrix dense(rows_, cols_);
+  const std::vector<double>& dict = *dict_;
+  const u32 cols = static_cast<u32>(cols_);
+  const U32Divisor by_cols = ColsDivisor(cols_);
   std::size_t row = 0;
-  for (u32 symbol : sequence) {
+  std::vector<u32> stack;
+  ForEachFinalSymbol([&](u32 symbol) {
     if (symbol == kCsrvSentinel) {
       ++row;
-      continue;
+      return;
     }
-    CsrvSymbol decoded = DecodeCsrvSymbol(symbol, cols_);
-    dense.Set(row, decoded.column, (*dict_)[decoded.value_id]);
-  }
+    ExpandSymbol(symbol, &stack, [&](u32 t) {
+      u32 packed = t - 1;
+      u32 value_id = by_cols.Divide(packed);
+      GCM_DCHECK_BOUNDS(value_id, dict.size());
+      dense.Set(row, packed - value_id * cols, dict[value_id]);
+    });
+  });
   return dense;
+}
+
+void GcMatrix::ConfigureRuleCache(u64 capacity_bytes) {
+  rule_cache_capacity_ = capacity_bytes;
+  rule_cache_.reset();
+  if (capacity_bytes == 0 || rule_count_ == 0) return;
+
+  // Expansion-count heuristic: occurrences in C, plus -- walking R
+  // backward, so every referencing parent is finished first -- each
+  // rule's count pushed into the rules it references. occ[j] is then the
+  // number of times rule j is expanded by one full traversal of the
+  // matrix, the paper's "few rules dominate all expansions" quantity.
+  std::vector<u64> occ(rule_count_, 0);
+  ForEachFinalSymbol([&](u32 symbol) {
+    if (symbol >= alphabet_size_) ++occ[symbol - alphabet_size_];
+  });
+  for (std::size_t j = rule_count_; j-- > 0;) {
+    if (occ[j] == 0) continue;
+    for (u32 symbol : {RuleLeft(j), RuleRight(j)}) {
+      if (symbol >= alphabet_size_) occ[symbol - alphabet_size_] += occ[j];
+    }
+  }
+
+  std::vector<u32> order(rule_count_);
+  std::iota(order.begin(), order.end(), 0u);
+  // Hottest first; ties resolve to smaller rule ids, i.e. children before
+  // the parents that reference them (rule sides point strictly backward).
+  std::stable_sort(order.begin(), order.end(),
+                   [&](u32 a, u32 b) { return occ[a] > occ[b]; });
+
+  // Warm the cache hottest-first. The cache must be live before the
+  // expansion loop so each warm rule splices the already-admitted hotter
+  // children instead of re-descending them. No evictions while warming:
+  // a colder rule must not displace a hotter one admitted a moment ago.
+  rule_cache_ = std::make_shared<RuleCache>(capacity_bytes);
+  std::vector<u32> scratch;
+  for (u32 rule : order) {
+    if (occ[rule] < 2) break;  // expanded at most once -- cannot pay off
+    ExpandRuleTerminals(rule, &scratch);
+    if (!rule_cache_->TryInsertWithoutEviction(rule, std::move(scratch))) {
+      break;  // budget full
+    }
+  }
+}
+
+RuleCacheStats GcMatrix::rule_cache_stats() const {
+  return rule_cache_ != nullptr ? rule_cache_->Stats() : RuleCacheStats{};
+}
+
+void GcMatrix::CollectStats(KernelStats* stats) const {
+  RuleCacheStats rc = rule_cache_stats();
+  stats->rule_cache_hits += rc.hits;
+  stats->rule_cache_misses += rc.misses;
+  stats->rule_cache_bytes_resident += rc.bytes_resident;
+  stats->rule_cache_capacity_bytes += rc.capacity_bytes;
+  stats->rule_cache_entries += rc.entries;
+  stats->rule_cache_evictions += rc.evictions;
+}
+
+void GcMatrix::PrefetchPayload() const {
+  constexpr std::size_t kLine = 64;
+  auto touch = [](const void* base, std::size_t bytes) {
+    // A few lines from the head hide the first-access miss; the hardware
+    // prefetcher takes over once the scan is streaming.
+    const char* p = static_cast<const char*>(base);
+    std::size_t span = std::min<std::size_t>(bytes, 4 * kLine);
+    for (std::size_t off = 0; off < span; off += kLine) {
+      simd::Prefetch(p + off);
+    }
+  };
+  switch (format_) {
+    case GcFormat::kCsrv:
+    case GcFormat::kRe32:
+      touch(c_plain_.data(), c_plain_.size() * sizeof(u32));
+      touch(r_plain_.data(), r_plain_.size() * sizeof(u32));
+      break;
+    case GcFormat::kReIv:
+      touch(c_packed_.words().data(), c_packed_.SizeInBytes());
+      touch(r_packed_.words().data(), r_packed_.SizeInBytes());
+      break;
+    case GcFormat::kReAns:
+      touch(c_ans_.chunks.data(), c_ans_.chunks.size() * sizeof(u32));
+      touch(r_packed_.words().data(), r_packed_.SizeInBytes());
+      break;
+  }
 }
 
 void GcMatrix::Serialize(ByteWriter* writer) const {

@@ -1,0 +1,25 @@
+// Aggregated runtime counters reported by engine backends.
+//
+// IMatrixKernel::CollectStats(KernelStats*) ADDS a backend's counters into
+// the struct; container backends (BlockedGcMatrix, ShardedMatrix) forward
+// to their children, so one call on the outermost kernel sums the whole
+// tree. AnyMatrix::Stats() is the user-facing entry point, surfaced by
+// `model_server --stats`. Today the counters cover the hot-rule expansion
+// cache; new backend counters should be added here rather than growing
+// per-backend stats types.
+#pragma once
+
+#include "util/common.hpp"
+
+namespace gcm {
+
+struct KernelStats {
+  u64 rule_cache_hits = 0;
+  u64 rule_cache_misses = 0;
+  u64 rule_cache_bytes_resident = 0;
+  u64 rule_cache_capacity_bytes = 0;
+  u64 rule_cache_entries = 0;
+  u64 rule_cache_evictions = 0;
+};
+
+}  // namespace gcm

@@ -1,0 +1,87 @@
+#include "core/rule_cache.hpp"
+
+#include <utility>
+
+namespace gcm {
+
+RuleCache::RuleCache(u64 capacity_bytes) : capacity_(capacity_bytes) {}
+
+u64 RuleCache::CostOf(const Expansion& expansion) {
+  // Payload plus a flat charge for the shared_ptr control block, the map
+  // node, and the LRU list node. The exact constant matters less than
+  // charging SOMETHING per entry so a sea of tiny expansions cannot blow
+  // past the configured budget on overhead alone.
+  constexpr u64 kPerEntryOverhead = 96;
+  return static_cast<u64>(expansion.size()) * sizeof(u32) + kPerEntryOverhead;
+}
+
+RuleCache::ExpansionPtr RuleCache::Lookup(u32 rule) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(rule);
+  if (it == entries_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  return it->second.expansion;
+}
+
+void RuleCache::EvictOne() {
+  const u32 victim = lru_.back();
+  auto it = entries_.find(victim);
+  bytes_ -= it->second.bytes;
+  entries_.erase(it);
+  lru_.pop_back();
+  ++evictions_;
+}
+
+bool RuleCache::InsertLocked(u32 rule, Expansion expansion,
+                             bool allow_eviction) {
+  const u64 cost = CostOf(expansion);
+  if (cost > capacity_) return false;
+  auto it = entries_.find(rule);
+  if (it != entries_.end()) {
+    // Refresh in place; the old bytes come off before the fit check.
+    bytes_ -= it->second.bytes;
+    lru_.erase(it->second.lru_it);
+    entries_.erase(it);
+  }
+  if (allow_eviction) {
+    while (bytes_ + cost > capacity_) EvictOne();
+  } else if (bytes_ + cost > capacity_) {
+    return false;
+  }
+  lru_.push_front(rule);
+  Entry entry;
+  entry.expansion = std::make_shared<const Expansion>(std::move(expansion));
+  entry.lru_it = lru_.begin();
+  entry.bytes = cost;
+  bytes_ += cost;
+  entries_.emplace(rule, std::move(entry));
+  return true;
+}
+
+bool RuleCache::Insert(u32 rule, Expansion expansion) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return InsertLocked(rule, std::move(expansion), /*allow_eviction=*/true);
+}
+
+bool RuleCache::TryInsertWithoutEviction(u32 rule, Expansion expansion) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return InsertLocked(rule, std::move(expansion), /*allow_eviction=*/false);
+}
+
+RuleCacheStats RuleCache::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  RuleCacheStats stats;
+  stats.hits = hits_;
+  stats.misses = misses_;
+  stats.bytes_resident = bytes_;
+  stats.capacity_bytes = capacity_;
+  stats.entries = static_cast<u64>(entries_.size());
+  stats.evictions = evictions_;
+  return stats;
+}
+
+}  // namespace gcm

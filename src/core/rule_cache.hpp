@@ -1,0 +1,92 @@
+// Byte-capped LRU cache of fully expanded SLP rules.
+//
+// The paper's structural observation: a small set of grammar rules
+// dominates all expansions (hot rules are referenced from C and from many
+// other rules). Expanding such a rule once and replaying the cached
+// terminal sequence turns repeated pointer-chasing descents into a
+// contiguous streaming read. GcMatrix owns one of these per matrix for
+// its assignment-style paths (ExtractRow / ToDense / DecompressSequence),
+// where replay order cannot change any floating-point result. The
+// multiply kernels deliberately do NOT consult the cache: they fold rule
+// weights bottom-up in tree order, and replaying a flat expansion would
+// reassociate the sums and break the pool/no-pool bitwise discipline.
+//
+// Entries are shared_ptr<const ...>: a reader that obtained an expansion
+// keeps streaming it safely even if a concurrent insert evicts the entry
+// mid-use (the map drops its reference; the reader's copy stays alive).
+// All map/list state is guarded by one mutex; hit/miss counters live
+// under the same lock.
+#pragma once
+
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace gcm {
+
+struct RuleCacheStats {
+  u64 hits = 0;
+  u64 misses = 0;
+  u64 bytes_resident = 0;
+  u64 capacity_bytes = 0;
+  u64 entries = 0;
+  u64 evictions = 0;
+};
+
+class RuleCache {
+ public:
+  /// Terminal expansion of one rule (CSRV final symbols, in order).
+  using Expansion = std::vector<u32>;
+  using ExpansionPtr = std::shared_ptr<const Expansion>;
+
+  explicit RuleCache(u64 capacity_bytes);
+
+  u64 capacity_bytes() const { return capacity_; }
+
+  /// Returns the cached expansion for `rule` (marking it most recently
+  /// used) or nullptr on a miss. Counts a hit or a miss either way.
+  ExpansionPtr Lookup(u32 rule);
+
+  /// Inserts (or refreshes) `rule`, evicting least-recently-used entries
+  /// until the expansion fits. An expansion larger than the whole
+  /// capacity is not admitted. Returns true when the entry is resident
+  /// after the call.
+  bool Insert(u32 rule, Expansion expansion);
+
+  /// Inserts only if the expansion fits in the currently free capacity --
+  /// no evictions. Used by the warm-up pass, which admits rules in
+  /// descending expansion-count order and must not let a colder rule
+  /// evict a hotter one it admitted a moment ago.
+  bool TryInsertWithoutEviction(u32 rule, Expansion expansion);
+
+  RuleCacheStats Stats() const;
+
+  /// Accounting charge per entry: payload plus map/list/control overhead.
+  static u64 CostOf(const Expansion& expansion);
+
+ private:
+  struct Entry {
+    ExpansionPtr expansion;
+    std::list<u32>::iterator lru_it;
+    u64 bytes = 0;
+  };
+
+  // Callers hold mu_.
+  void EvictOne();
+  bool InsertLocked(u32 rule, Expansion expansion, bool allow_eviction);
+
+  const u64 capacity_;
+  mutable std::mutex mu_;
+  u64 bytes_ = 0;
+  u64 hits_ = 0;
+  u64 misses_ = 0;
+  u64 evictions_ = 0;
+  std::list<u32> lru_;  // front = most recently used
+  std::unordered_map<u32, Entry> entries_;
+};
+
+}  // namespace gcm

@@ -237,7 +237,15 @@ u32 RansDecoder::Next() {
                                         << " below the slot's cumulative base "
                                         << cum_[slot]);
   state_ = static_cast<u64>(freq) * (state_ >> kScaleBits) + pos - cum_[slot];
-  while (state_ < kRansL && chunk_pos_ < stream_.chunks.size()) {
+  // Renormalization needs at most ONE chunk, so both renorm points are a
+  // branch, not a loop: before each, state >= 2^(31-kScaleBits) > 0 (the
+  // decode step keeps state >= freq * (state >> 14) with state >= kRansL
+  // = 2^31 beforehand; the raw-bits shift below drops at most 31 bits of
+  // a state >= 2^31), and (state << 32) | chunk >= 2^32 > kRansL for any
+  // state >= 1. A corrupt stream can void the precondition and decode
+  // garbage -- exactly as the old loop did -- and the load-time payload
+  // validation (symbol ranges, sentinel counts) rejects it downstream.
+  if (state_ < kRansL && chunk_pos_ < stream_.chunks.size()) {
     state_ = (state_ << 32) | ReadChunk();
   }
   u32 fold_base = 1u << stream_.fold_bits;
@@ -245,7 +253,7 @@ u32 RansDecoder::Next() {
   u32 width = stream_.fold_bits + (slot - fold_base);
   u32 payload = static_cast<u32>(state_ & LowMask(width));
   state_ >>= width;
-  while (state_ < kRansL && chunk_pos_ < stream_.chunks.size()) {
+  if (state_ < kRansL && chunk_pos_ < stream_.chunks.size()) {
     state_ = (state_ << 32) | ReadChunk();
   }
   return Unfold(slot, stream_.fold_bits, payload);

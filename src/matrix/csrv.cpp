@@ -5,6 +5,7 @@
 #include "encoding/byte_stream.hpp"
 #include "matrix/csr.hpp"
 #include "util/check.hpp"
+#include "util/fast_div.hpp"
 
 namespace gcm {
 
@@ -110,7 +111,12 @@ void CsrvMatrix::MultiplyRightInto(std::span<const double> x,
   GCM_CHECK_MSG(y.size() == rows_, "MultiplyRight: wrong output length");
   // Validate() bounds every decoded value id and counts exactly rows_
   // sentinels; the row walk re-asserts per element in debug builds since a
-  // malformed sequence here reads out of bounds silently.
+  // malformed sequence here reads out of bounds silently. The magic
+  // divisor replaces the per-symbol hardware divide (exact, so decoding
+  // is bitwise unchanged); an empty sequence skips the loop, so the
+  // zero-column placeholder divisor is never consulted.
+  const u32 cols = static_cast<u32>(cols_);
+  const U32Divisor by_cols(cols == 0 ? 1u : cols);
   std::size_t row = 0;
   double acc = 0.0;
   for (u32 symbol : sequence_) {
@@ -121,8 +127,8 @@ void CsrvMatrix::MultiplyRightInto(std::span<const double> x,
       continue;
     }
     u32 packed = symbol - 1;
-    u32 value_id = packed / static_cast<u32>(cols_);
-    u32 column = packed % static_cast<u32>(cols_);
+    u32 value_id = by_cols.Divide(packed);
+    u32 column = packed - value_id * cols;
     GCM_DCHECK_BOUNDS(value_id, dictionary_.size());
     acc += dictionary_[value_id] * x[column];
   }
@@ -133,6 +139,8 @@ void CsrvMatrix::MultiplyLeftInto(std::span<const double> y,
   GCM_CHECK_MSG(y.size() == rows_, "MultiplyLeft: wrong vector length");
   GCM_CHECK_MSG(x.size() == cols_, "MultiplyLeft: wrong output length");
   std::fill(x.begin(), x.end(), 0.0);
+  const u32 cols = static_cast<u32>(cols_);
+  const U32Divisor by_cols(cols == 0 ? 1u : cols);
   std::size_t row = 0;
   for (u32 symbol : sequence_) {
     if (symbol == kCsrvSentinel) {
@@ -140,8 +148,8 @@ void CsrvMatrix::MultiplyLeftInto(std::span<const double> y,
       continue;
     }
     u32 packed = symbol - 1;
-    u32 value_id = packed / static_cast<u32>(cols_);
-    u32 column = packed % static_cast<u32>(cols_);
+    u32 value_id = by_cols.Divide(packed);
+    u32 column = packed - value_id * cols;
     GCM_DCHECK_BOUNDS(row, rows_);
     GCM_DCHECK_BOUNDS(value_id, dictionary_.size());
     x[column] += y[row] * dictionary_[value_id];

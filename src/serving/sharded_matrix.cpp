@@ -10,6 +10,7 @@
 #include "matrix/dense_matrix.hpp"
 #include "matrix/sparse_builder.hpp"
 #include "util/check.hpp"
+#include "util/partials.hpp"
 #include "util/thread_pool.hpp"
 
 namespace gcm {
@@ -274,7 +275,7 @@ void ShardedMatrix::MultiplyLeftInto(std::span<const double> y,
   std::fill(x.begin(), x.end(), 0.0);
   std::size_t n = states_.size();
   if (ctx.pool != nullptr && n > 1) {
-    std::vector<double> partials(n * cols());
+    PartialVectors partials(n, cols());
     ctx.pool->ParallelFor(n, [&](std::size_t i) {
       const ShardState& shard = *states_[i];
       AnyMatrix m = Acquire(shard);
@@ -285,13 +286,9 @@ void ShardedMatrix::MultiplyLeftInto(std::span<const double> y,
                               << ") outside input span of " << y.size());
       m.MultiplyLeftInto(
           y.subspan(shard.entry.row_begin, shard.entry.rows()),
-          std::span<double>(partials.data() + i * cols(), cols()),
-          MulContext{});
+          partials.part(i), MulContext{});
     });
-    for (std::size_t i = 0; i < n; ++i) {
-      const double* partial = partials.data() + i * cols();
-      for (std::size_t c = 0; c < cols(); ++c) x[c] += partial[c];
-    }
+    partials.AccumulateInto(x);
   } else {
     std::vector<double> partial(cols());
     for (std::size_t i = 0; i < n; ++i) {
@@ -451,6 +448,15 @@ DenseMatrix ShardedMatrix::ToDense() const {
     }
   }
   return out;
+}
+
+void ShardedMatrix::CollectStats(KernelStats* stats) const {
+  // Resident shards only: a stats probe must never fault an evicted shard
+  // back in, so this peeks under each state's mutex instead of Acquire().
+  for (const std::unique_ptr<ShardState>& state : states_) {
+    std::lock_guard<std::mutex> lock(state->mu);
+    if (state->resident.valid()) state->resident.kernel().CollectStats(stats);
+  }
 }
 
 // ---------------------------------------------------------------------------

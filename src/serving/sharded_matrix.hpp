@@ -168,6 +168,11 @@ class ShardedMatrix final : public IMatrixKernel {
 
   DenseMatrix ToDense() const override;
 
+  /// Sums the counters of *resident* shards only -- collecting stats must
+  /// never fault an evicted shard back in (it is a read-only probe the
+  /// serving loop calls between requests).
+  void CollectStats(KernelStats* stats) const override;
+
   /// Single-file persistence: embeds the manifest plus every shard's
   /// snapshot bytes as sections (loading lazily-evicted shards first).
   void SaveSections(SnapshotWriter* out) const override;

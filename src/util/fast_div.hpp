@@ -1,0 +1,61 @@
+// Exact division/remainder by a runtime-fixed u32 divisor via one 64x64
+// multiply (Lemire & Kaser, "Faster remainder by direct computation",
+// 2019). The grammar kernels decode every CSRV terminal symbol as
+// value_id = packed / cols and column = packed % cols; a hardware 32-bit
+// divide per symbol dominates those walks, while the magic-multiply costs
+// a handful of cycles and pipelines. The results are exact for every
+// 32-bit numerator, so kernel output is bitwise unchanged.
+#pragma once
+
+#include "util/common.hpp"
+
+namespace gcm {
+
+/// Precomputed magic for dividing u32 numerators by a fixed u32 divisor.
+/// Construct once per kernel invocation (outside the symbol loop).
+class U32Divisor {
+ public:
+  explicit U32Divisor(u32 d) : d_(d) {
+    GCM_CHECK_MSG(d != 0, "U32Divisor: divisor must be nonzero");
+#ifdef __SIZEOF_INT128__
+    // ceil(2^64 / d) == floor(2^64 / d) + 1 for d > 1 (d never divides
+    // 2^64 unless it is a power of two, and for powers of two the +1
+    // still yields exact quotients for 32-bit n). d == 1 would overflow
+    // the magic, so Divide/Mod special-case it.
+    magic_ = d > 1 ? ~u64{0} / d + 1 : 0;
+#endif
+  }
+
+  u32 divisor() const { return d_; }
+
+  /// n / d, exact for all n.
+  u32 Divide(u32 n) const {
+#ifdef __SIZEOF_INT128__
+    if (d_ == 1) return n;
+    return static_cast<u32>(
+        (static_cast<unsigned __int128>(magic_) * n) >> 64);
+#else
+    return n / d_;
+#endif
+  }
+
+  /// n % d, exact for all n.
+  u32 Mod(u32 n) const {
+#ifdef __SIZEOF_INT128__
+    if (d_ == 1) return 0;
+    const u64 fraction = magic_ * n;  // low 64 bits of magic * n
+    return static_cast<u32>(
+        (static_cast<unsigned __int128>(fraction) * d_) >> 64);
+#else
+    return n % d_;
+#endif
+  }
+
+ private:
+  u32 d_;
+#ifdef __SIZEOF_INT128__
+  u64 magic_ = 0;
+#endif
+};
+
+}  // namespace gcm

@@ -1,0 +1,13 @@
+#include "util/simd.hpp"
+
+namespace gcm::simd {
+
+#if defined(GCM_SIMD_AVX2)
+namespace detail {
+std::atomic<int> g_force_scalar{0};
+}  // namespace detail
+#endif
+
+const char* BackendName() { return kBackendName; }
+
+}  // namespace gcm::simd

@@ -24,6 +24,7 @@
 #include "matrix/csr.hpp"
 #include "matrix/csrv.hpp"
 #include "matrix/sparse_builder.hpp"
+#include "conformance_specs.hpp"
 #include "util/rng.hpp"
 
 namespace gcm {
@@ -40,33 +41,8 @@ DenseMatrix TestMatrix() {
   return DenseMatrix::Random(48, 13, 0.5, 6, &rng);
 }
 
-/// Every registered spec plus variants exercising the parameter grammar,
-/// and a sharded wrapper of every registered spec (the serving layer must
-/// be a drop-in kernel, so the whole suite runs against it too).
-std::vector<std::string> ConformanceSpecs() {
-  std::vector<std::string> specs = AnyMatrix::ListSpecs();
-  for (const std::string& base : AnyMatrix::ListSpecs()) {
-    if (base == "sharded") continue;  // nesting is rejected by design
-    specs.push_back("sharded?inner=" + base + "&rows_per_shard=16");
-  }
-  specs.push_back("gcm:re_32?blocks=4");
-  specs.push_back("gcm:re_ans?blocks=3&fold_bits=10");
-  specs.push_back("gcm:re_iv?max_rules=8");
-  specs.push_back("cla?co_code=0");
-  specs.push_back("auto?budget=64MiB&blocks=2");
-  specs.push_back("auto?probe=modeled");
-  // Inner specs escape '&' as '+'; the escaped form must conform too.
-  specs.push_back("sharded?inner=gcm:re_ans?blocks=2+fold_bits=10&shards=3");
-  return specs;
-}
-
-std::string SpecTestName(const ::testing::TestParamInfo<std::string>& info) {
-  std::string name = info.param;
-  for (char& c : name) {
-    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
-  }
-  return name;
-}
+// ConformanceSpecs() / SpecTestName() live in tests/conformance_specs.hpp,
+// shared with the SIMD equivalence suite.
 
 class EngineConformanceTest : public ::testing::TestWithParam<std::string> {};
 

@@ -1,0 +1,232 @@
+// Hot-rule expansion cache: the RuleCache container itself (LRU order,
+// byte-capped eviction, shared_ptr safety under eviction) and its
+// integration with GcMatrix / BlockedGcMatrix / the engine spec key --
+// cached and uncached extraction must agree bitwise, stats must aggregate
+// through the kernel tree, and the rule_cache spec key must round-trip
+// through snapshots.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "conformance_specs.hpp"
+#include "core/any_matrix.hpp"
+#include "core/blocked_matrix.hpp"
+#include "core/gc_matrix.hpp"
+#include "core/rule_cache.hpp"
+#include "matrix/dense_matrix.hpp"
+#include "util/rng.hpp"
+
+namespace gcm {
+namespace {
+
+/// A matrix with heavy row repetition so RePair always finds rules (every
+/// row is one of four patterns) -- the workload the cache exists for.
+DenseMatrix RepetitiveMatrix(std::size_t rows = 64, std::size_t cols = 16) {
+  DenseMatrix dense(rows, cols);
+  const double values[] = {1.0, 2.5, -3.0, 4.25};
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if ((c + r % 4) % 3 == 0) continue;  // keep some zeros
+      dense.Set(r, c, values[(c + r % 4) % 4]);
+    }
+  }
+  return dense;
+}
+
+GcMatrix BuildGc(const DenseMatrix& dense) {
+  return GcMatrix::FromDense(dense, {GcFormat::kRe32, 12, 0});
+}
+
+// ---------------------------------------------------------------------------
+// RuleCache container
+// ---------------------------------------------------------------------------
+
+TEST(RuleCacheTest, LookupMissThenInsertThenHit) {
+  RuleCache cache(1 << 16);
+  EXPECT_EQ(cache.Lookup(7), nullptr);
+  cache.Insert(7, {1, 2, 3});
+  RuleCache::ExpansionPtr hit = cache.Lookup(7);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, (std::vector<u32>{1, 2, 3}));
+  RuleCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.capacity_bytes, u64{1} << 16);
+}
+
+TEST(RuleCacheTest, EvictsLeastRecentlyUsedUnderPressure) {
+  // Capacity fits exactly two single-element expansions.
+  const u64 cost = RuleCache::CostOf(std::vector<u32>{0});
+  RuleCache cache(2 * cost);
+  cache.Insert(1, {10});
+  cache.Insert(2, {20});
+  EXPECT_NE(cache.Lookup(1), nullptr);  // 1 is now MRU, 2 is LRU
+  cache.Insert(3, {30});                // must evict 2, not 1
+  EXPECT_NE(cache.Lookup(1), nullptr);
+  EXPECT_EQ(cache.Lookup(2), nullptr);
+  EXPECT_NE(cache.Lookup(3), nullptr);
+  RuleCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_LE(stats.bytes_resident, stats.capacity_bytes);
+}
+
+TEST(RuleCacheTest, RejectsEntriesLargerThanCapacity) {
+  RuleCache cache(RuleCache::CostOf(std::vector<u32>{0}));
+  EXPECT_FALSE(cache.Insert(1, std::vector<u32>(1000, 7)));
+  EXPECT_EQ(cache.Stats().entries, 0u);
+}
+
+TEST(RuleCacheTest, TryInsertWithoutEvictionStopsAtBudget) {
+  const u64 cost = RuleCache::CostOf(std::vector<u32>{0});
+  RuleCache cache(2 * cost);
+  EXPECT_TRUE(cache.TryInsertWithoutEviction(1, {10}));
+  EXPECT_TRUE(cache.TryInsertWithoutEviction(2, {20}));
+  EXPECT_FALSE(cache.TryInsertWithoutEviction(3, {30}));  // would evict
+  EXPECT_NE(cache.Lookup(1), nullptr);
+  EXPECT_NE(cache.Lookup(2), nullptr);
+  EXPECT_EQ(cache.Stats().evictions, 0u);
+}
+
+TEST(RuleCacheTest, EvictionKeepsOutstandingExpansionAlive) {
+  const u64 cost = RuleCache::CostOf(std::vector<u32>{0});
+  RuleCache cache(cost);
+  cache.Insert(1, {42});
+  RuleCache::ExpansionPtr held = cache.Lookup(1);
+  ASSERT_NE(held, nullptr);
+  cache.Insert(2, {43});  // evicts rule 1 while `held` is outstanding
+  EXPECT_EQ(cache.Lookup(1), nullptr);
+  EXPECT_EQ((*held)[0], 42u);  // shared_ptr keeps the expansion valid
+}
+
+// ---------------------------------------------------------------------------
+// GcMatrix integration
+// ---------------------------------------------------------------------------
+
+TEST(GcRuleCacheTest, ZeroCapacityDisablesCache) {
+  GcMatrix gc = BuildGc(RepetitiveMatrix());
+  gc.ConfigureRuleCache(0);
+  EXPECT_EQ(gc.rule_cache_capacity(), 0u);
+  (void)gc.ToDense();
+  RuleCacheStats stats = gc.rule_cache_stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(stats.capacity_bytes, 0u);
+}
+
+TEST(GcRuleCacheTest, CachedExtractionMatchesUncachedBitwise) {
+  DenseMatrix dense = RepetitiveMatrix();
+  GcMatrix plain = BuildGc(dense);
+  GcMatrix cached = BuildGc(dense);
+  cached.ConfigureRuleCache(1 << 20);
+  ASSERT_GT(plain.rule_count(), 0u) << "workload must produce rules";
+
+  EXPECT_EQ(cached.DecompressSequence(), plain.DecompressSequence());
+  EXPECT_EQ(DenseMatrix::MaxAbsDiff(cached.ToDense(), plain.ToDense()), 0.0);
+  EXPECT_EQ(DenseMatrix::MaxAbsDiff(cached.ToDense(), dense), 0.0);
+  for (std::size_t r = 0; r < dense.rows(); ++r) {
+    EXPECT_EQ(cached.ExtractRow(r), plain.ExtractRow(r)) << "row " << r;
+  }
+}
+
+TEST(GcRuleCacheTest, WarmCacheAccumulatesHitsDuringExtraction) {
+  GcMatrix gc = BuildGc(RepetitiveMatrix());
+  ASSERT_GT(gc.rule_count(), 0u);
+  gc.ConfigureRuleCache(1 << 20);  // ample: every rule fits
+  u64 hits_after_warm = gc.rule_cache_stats().hits;
+  (void)gc.ToDense();
+  RuleCacheStats stats = gc.rule_cache_stats();
+  EXPECT_GT(stats.hits, hits_after_warm);
+  EXPECT_GT(stats.entries, 0u);
+  EXPECT_GT(stats.bytes_resident, 0u);
+}
+
+TEST(GcRuleCacheTest, TinyCapacityBoundsResidentBytesUnderEviction) {
+  GcMatrix gc = BuildGc(RepetitiveMatrix(128, 24));
+  ASSERT_GT(gc.rule_count(), 0u);
+  const u64 capacity = 512;  // forces demand-fill eviction churn
+  gc.ConfigureRuleCache(capacity);
+  DenseMatrix plain = BuildGc(RepetitiveMatrix(128, 24)).ToDense();
+  EXPECT_EQ(DenseMatrix::MaxAbsDiff(gc.ToDense(), plain), 0.0);
+  RuleCacheStats stats = gc.rule_cache_stats();
+  EXPECT_LE(stats.bytes_resident, capacity);
+}
+
+TEST(GcRuleCacheTest, ConcurrentExtractionUnderTinyCacheMatchesOracle) {
+  DenseMatrix dense = RepetitiveMatrix(96, 20);
+  GcMatrix gc = BuildGc(dense);
+  gc.ConfigureRuleCache(512);  // tiny: eviction races with lookups
+  const std::size_t kThreads = 4;
+  std::vector<int> bad_rows(kThreads, 0);
+  std::vector<std::thread> workers;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (std::size_t pass = 0; pass < 3; ++pass) {
+        for (std::size_t r = 0; r < dense.rows(); ++r) {
+          std::vector<double> row = gc.ExtractRow(r);
+          for (std::size_t c = 0; c < dense.cols(); ++c) {
+            if (row[c] != dense.At(r, c)) ++bad_rows[t];
+          }
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  for (std::size_t t = 0; t < kThreads; ++t) EXPECT_EQ(bad_rows[t], 0);
+}
+
+// ---------------------------------------------------------------------------
+// Engine / container integration
+// ---------------------------------------------------------------------------
+
+TEST(EngineRuleCacheTest, SpecKeyConfiguresCacheAndFormatTagRoundTrips) {
+  AnyMatrix m = AnyMatrix::Build(RepetitiveMatrix(), "gcm:re_32?rule_cache=4096");
+  EXPECT_EQ(m.FormatTag(), "gcm:re_32?rule_cache=4096");
+  KernelStats stats = m.Stats();
+  EXPECT_EQ(stats.rule_cache_capacity_bytes, 4096u);
+
+  std::string path = ::testing::TempDir() + "rule_cache_roundtrip.gcsnap";
+  m.Save(path);
+  AnyMatrix restored = AnyMatrix::Load(path);
+  EXPECT_EQ(restored.FormatTag(), m.FormatTag());
+  EXPECT_EQ(restored.Stats().rule_cache_capacity_bytes, 4096u);
+  EXPECT_EQ(DenseMatrix::MaxAbsDiff(restored.ToDense(), m.ToDense()), 0.0);
+  std::remove(path.c_str());
+}
+
+TEST(EngineRuleCacheTest, BlockedCacheBudgetsSumToConfiguredTotal) {
+  BlockedGcMatrix blocked = BlockedGcMatrix::Build(
+      RepetitiveMatrix(), 3, {GcFormat::kRe32, 12, 0});
+  const u64 total = 10001;  // not divisible by 3: remainder must not vanish
+  blocked.ConfigureRuleCache(total);
+  EXPECT_EQ(blocked.rule_cache_capacity(), total);
+  KernelStats stats;
+  blocked.CollectStats(&stats);
+  EXPECT_EQ(stats.rule_cache_capacity_bytes, total);
+  u64 per_block_sum = 0;
+  for (std::size_t b = 0; b < blocked.block_count(); ++b) {
+    per_block_sum += blocked.block(b).rule_cache_capacity();
+  }
+  EXPECT_EQ(per_block_sum, total);
+}
+
+TEST(EngineRuleCacheTest, StatsAggregateAcrossBlocksThroughEngine) {
+  AnyMatrix m = AnyMatrix::Build(RepetitiveMatrix(),
+                                 "gcm:re_32?blocks=2&rule_cache=65536");
+  EXPECT_EQ(m.FormatTag(), "gcm:re_32?blocks=2&rule_cache=65536");
+  (void)m.ToDense();
+  KernelStats stats = m.Stats();
+  EXPECT_EQ(stats.rule_cache_capacity_bytes, 65536u);
+  // Non-gcm backends report nothing: a dense matrix stays all-zero.
+  AnyMatrix dense = AnyMatrix::Build(RepetitiveMatrix(), "dense");
+  KernelStats none = dense.Stats();
+  EXPECT_EQ(none.rule_cache_capacity_bytes, 0u);
+  EXPECT_EQ(none.rule_cache_hits + none.rule_cache_misses, 0u);
+}
+
+}  // namespace
+}  // namespace gcm
