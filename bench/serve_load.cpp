@@ -18,6 +18,13 @@
 // Query mixes (--mix): right | left | range | mixed (per-request
 // round-robin over all three; range requests share one fixed row window
 // so they can batch with each other).
+//
+// Topologies (--topology): local serves --spec directly; cluster serves
+// the same matrix through a coordinator that scatters every request over
+// --workers loopback worker servers (the src/net/cluster/ path: client ->
+// coordinator -> per-range worker requests -> gather); both runs both and
+// appends scatter_vs_local ratio rows (serve_cluster.csv in CI) so the
+// scatter overhead is tracked run over run.
 
 #include <algorithm>
 #include <cstdio>
@@ -205,6 +212,13 @@ int Main(int argc, char** argv) {
   cli.AddFlag("cols", "96", "served matrix cols");
   cli.AddFlag("spec", "sharded?inner=csr&shards=4",
               "engine spec of the served matrix");
+  cli.AddFlag("topology", "local",
+              "serving topology: local | cluster | both (cluster scatters "
+              "every request over loopback worker servers; both also "
+              "appends scatter_vs_local ratio rows)");
+  cli.AddFlag("workers", "2", "worker servers in the cluster topology");
+  cli.AddFlag("replicas", "1",
+              "replica endpoints per row range in the cluster topology");
   cli.AddFlag("slack", "0.7",
               "batched-vs-unbatched tolerance: throughput >= slack * "
               "unbatched and p99 <= unbatched / slack");
@@ -221,50 +235,94 @@ int Main(int argc, char** argv) {
   GCM_CHECK_MSG(batching == "on" || batching == "off" || batching == "both",
                 "unknown --batching: " << batching);
 
+  const std::string topology = cli.GetString("topology");
+  GCM_CHECK_MSG(topology == "local" || topology == "cluster" ||
+                    topology == "both",
+                "unknown --topology: " << topology);
+
   Rng rng(20260807);
   DenseMatrix dense =
       DenseMatrix::Random(static_cast<std::size_t>(cli.GetInt("rows")),
                           static_cast<std::size_t>(cli.GetInt("cols")), 0.3,
                           5, &rng);
-  AnyMatrix matrix = AnyMatrix::Build(dense, cli.GetString("spec"));
   bench::CsvAppender csv(cli);
-
-  bench::PrintHeader("serve_load: " + matrix.FormatTag() + ", " +
-                     cli.GetString("connections") + " connections x " +
-                     cli.GetString("requests") + " requests, mix=" + mix);
   const std::string suffix = "_c" + cli.GetString("connections");
 
-  LoadResult off;
-  LoadResult on;
-  if (batching == "off" || batching == "both") {
-    off = RunLoad(dense, matrix, /*batching=*/false, cli);
-    Report(&csv, mix, "batching_off" + suffix, off);
+  // Runs the batched/unbatched matrix (the batching comparison holds per
+  // topology: the coordinator's window coalesces scatter fan-outs the same
+  // way a worker's coalesces kernel calls). Returns the result the
+  // cross-topology comparison uses: the batched run when one happened.
+  auto run_topology = [&](const AnyMatrix& matrix,
+                          const std::string& topo_prefix) -> LoadResult {
+    bench::PrintHeader("serve_load: " + matrix.FormatTag() + ", " +
+                       cli.GetString("connections") + " connections x " +
+                       cli.GetString("requests") + " requests, mix=" + mix);
+    LoadResult off;
+    LoadResult on;
+    if (batching == "off" || batching == "both") {
+      off = RunLoad(dense, matrix, /*batching=*/false, cli);
+      Report(&csv, mix, topo_prefix + "batching_off" + suffix, off);
+    }
+    if (batching == "on" || batching == "both") {
+      on = RunLoad(dense, matrix, /*batching=*/true, cli);
+      Report(&csv, mix, topo_prefix + "batching_on" + suffix, on);
+    }
+    if (batching == "both") {
+      double slack = cli.GetDouble("slack");
+      double throughput_ratio = on.throughput_rps / off.throughput_rps;
+      double p99_ratio = on.p99_sec / off.p99_sec;
+      csv.Row("serve_load", mix, topo_prefix + "batched_vs_unbatched",
+              "throughput_ratio", throughput_ratio);
+      csv.Row("serve_load", mix, topo_prefix + "batched_vs_unbatched",
+              "p99_ratio", p99_ratio);
+      std::printf("batched vs unbatched: throughput x%.2f, p99 x%.2f "
+                  "(slack %.2f)\n",
+                  throughput_ratio, p99_ratio, slack);
+      GCM_CHECK_MSG(on.batched_requests > 0,
+                    "batching run never coalesced a batch; the load window "
+                    "(--depth) is too shallow to test batching");
+      GCM_CHECK_MSG(throughput_ratio >= slack,
+                    "batched throughput regressed: x"
+                        << throughput_ratio << " < slack " << slack);
+      GCM_CHECK_MSG(p99_ratio <= 1.0 / slack,
+                    "batched p99 regressed: x" << p99_ratio << " > "
+                                               << 1.0 / slack);
+    }
+    return batching == "off" ? off : on;
+  };
+
+  LoadResult local_result;
+  LoadResult cluster_result;
+  if (topology == "local" || topology == "both") {
+    AnyMatrix matrix = AnyMatrix::Build(dense, cli.GetString("spec"));
+    local_result = run_topology(matrix, "");
   }
-  if (batching == "on" || batching == "both") {
-    on = RunLoad(dense, matrix, /*batching=*/true, cli);
-    Report(&csv, mix, "batching_on" + suffix, on);
+  if (topology == "cluster" || topology == "both") {
+    // The registry's loopback-cluster build: local sharded matrix behind
+    // --workers real TCP worker servers, coordinator kernel in front. The
+    // load generator then talks to a coordinator Server over that kernel,
+    // so every request crosses the wire twice (client -> coordinator ->
+    // workers).
+    std::string cluster_spec = "cluster?inner=csr&workers=" +
+                               cli.GetString("workers") +
+                               "&replicas=" + cli.GetString("replicas");
+    AnyMatrix matrix = AnyMatrix::Build(dense, cluster_spec);
+    cluster_result = run_topology(matrix, "cluster_");
   }
 
-  if (batching == "both") {
-    double slack = cli.GetDouble("slack");
-    double throughput_ratio = on.throughput_rps / off.throughput_rps;
-    double p99_ratio = on.p99_sec / off.p99_sec;
-    csv.Row("serve_load", mix, "batched_vs_unbatched",
+  if (topology == "both") {
+    // Informational ratio rows (not gated as timed metrics): how much the
+    // extra hop + scatter/gather costs against serving the same matrix
+    // from one process.
+    double throughput_ratio =
+        cluster_result.throughput_rps / local_result.throughput_rps;
+    double p99_ratio = cluster_result.p99_sec / local_result.p99_sec;
+    csv.Row("serve_load", mix, "scatter_vs_local" + suffix,
             "throughput_ratio", throughput_ratio);
-    csv.Row("serve_load", mix, "batched_vs_unbatched", "p99_ratio",
+    csv.Row("serve_load", mix, "scatter_vs_local" + suffix, "p99_ratio",
             p99_ratio);
-    std::printf("batched vs unbatched: throughput x%.2f, p99 x%.2f "
-                "(slack %.2f)\n",
-                throughput_ratio, p99_ratio, slack);
-    GCM_CHECK_MSG(on.batched_requests > 0,
-                  "batching run never coalesced a batch; the load window "
-                  "(--depth) is too shallow to test batching");
-    GCM_CHECK_MSG(throughput_ratio >= slack,
-                  "batched throughput regressed: x"
-                      << throughput_ratio << " < slack " << slack);
-    GCM_CHECK_MSG(p99_ratio <= 1.0 / slack,
-                  "batched p99 regressed: x" << p99_ratio << " > "
-                                             << 1.0 / slack);
+    std::printf("scatter vs local: throughput x%.2f, p99 x%.2f\n",
+                throughput_ratio, p99_ratio);
   }
   return 0;
 }

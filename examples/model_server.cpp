@@ -26,6 +26,20 @@
 // With --serve it stays up instead, for an external client:
 //
 //   $ ./model_server --store store_dir --port 7070 --serve
+//
+// Multi-node deployment (src/net/cluster/): the same binary plays every
+// role. Workers are ordinary servers over the full store; the coordinator
+// loads a cluster manifest (row range -> worker endpoints), scatters each
+// request across the workers and re-exports the same protocol -- clients
+// cannot tell a coordinator from a single server:
+//
+//   $ ./model_server --store store_dir --worker --port 7101
+//   $ ./model_server --store store_dir --worker --port 7102
+//   $ ./model_server --store store_dir
+//       --workers 127.0.0.1:7101,127.0.0.1:7102 --replicas 2
+//       --cluster-manifest cluster.gcsnap          # derive + write, exit
+//   $ ./model_server --coordinator --cluster-manifest cluster.gcsnap
+//       --port 7070 --serve
 
 #include <algorithm>
 #include <chrono>
@@ -40,6 +54,8 @@
 #include "grammar/repair.hpp"
 #include "matrix/datasets.hpp"
 #include "net/client.hpp"
+#include "net/cluster/cluster_manifest.hpp"
+#include "net/cluster/cluster_serving.hpp"
 #include "net/server.hpp"
 #include "serving/matrix_store.hpp"
 #include "serving/sharded_matrix.hpp"
@@ -162,6 +178,28 @@ double RunClientDemo(const AnyMatrix& served, u16 port,
   return max_diff;
 }
 
+/// Parses "host:port[,host:port...]" into endpoints; throws gcm::Error on
+/// malformed entries.
+std::vector<WorkerEndpoint> ParseEndpoints(const std::string& text) {
+  std::vector<WorkerEndpoint> endpoints;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t comma = text.find(',', pos);
+    if (comma == std::string::npos) comma = text.size();
+    std::string entry = text.substr(pos, comma - pos);
+    std::size_t colon = entry.rfind(':');
+    GCM_CHECK_MSG(colon != std::string::npos && colon > 0 &&
+                      colon + 1 < entry.size(),
+                  "worker endpoint \"" << entry << "\" is not host:port");
+    WorkerEndpoint endpoint;
+    endpoint.host = entry.substr(0, colon);
+    endpoint.port = static_cast<u16>(std::stoul(entry.substr(colon + 1)));
+    endpoints.push_back(std::move(endpoint));
+    pos = comma + 1;
+  }
+  return endpoints;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -195,6 +233,26 @@ int main(int argc, char** argv) {
               "threads); artifact bytes are identical either way");
   cli.AddFlag("eager", "false",
               "load every shard at open instead of on first touch");
+  cli.AddFlag("worker", "false",
+              "serve the artifact for a cluster coordinator and stay up "
+              "(implies --serve)");
+  cli.AddFlag("coordinator", "false",
+              "serve as a cluster coordinator: scatter every request over "
+              "the workers named by --cluster-manifest");
+  cli.AddFlag("cluster-manifest", "",
+              "cluster manifest path: --coordinator loads it; with "
+              "--workers it is derived from the store manifest and written "
+              "here (default <store>/cluster.gcsnap)");
+  cli.AddFlag("workers", "",
+              "comma-separated host:port endpoints: derive a cluster "
+              "manifest routing the store's shards round-robin across "
+              "these workers, write it, and exit");
+  cli.AddFlag("replicas", "1",
+              "replica endpoints per row range when deriving a manifest");
+  cli.AddFlag("deadline-ms", "5000",
+              "coordinator per-request receive deadline (0 = none)");
+  cli.AddFlag("max-attempts", "3",
+              "coordinator attempts per range across replicas and retries");
   cli.AddFlag("stats", "false",
               "after the demo, run a full dense audit of the served matrix "
               "and print the kernel's aggregated runtime counters (rule "
@@ -207,6 +265,57 @@ int main(int argc, char** argv) {
   std::string artifact = serve_store
                              ? MatrixStore::ManifestPath(store_dir)
                              : snapshot_path;
+
+  // ---- Coordinator mode: no artifact of its own -- the matrix lives on
+  // the workers. Connect, then fall through to the ordinary server setup;
+  // the scatter kernel re-exports the same protocol, so everything below
+  // (client demo included) is oblivious to the cluster.
+  if (cli.GetBool("coordinator")) {
+    std::string manifest_path = cli.GetString("cluster-manifest");
+    if (manifest_path.empty()) {
+      std::fprintf(stderr, "--coordinator needs --cluster-manifest\n");
+      return 2;
+    }
+    AnyMatrix served;
+    try {
+      ClusterManifest manifest = ClusterManifest::Load(manifest_path);
+      ClusterConfig cluster_config;
+      cluster_config.deadline_ms =
+          static_cast<u64>(cli.GetInt("deadline-ms"));
+      cluster_config.max_attempts =
+          static_cast<std::size_t>(cli.GetInt("max-attempts"));
+      served = ConnectCluster(manifest, cluster_config);
+      std::printf("coordinator: %zu row ranges over %zu distinct workers "
+                  "(%s)\n",
+                  manifest.ranges.size(), manifest.WorkerCount(),
+                  manifest.FormatTag().c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error connecting cluster: %s\n", e.what());
+      return 1;
+    }
+    ServerConfig config;
+    config.port = static_cast<u16>(cli.GetInt("port"));
+    config.batching = cli.GetBool("batching");
+    config.batch_max = static_cast<std::size_t>(cli.GetInt("batch-max"));
+    config.batch_window_ms = cli.GetDouble("batch-window-ms");
+    Server server(served, config);
+    server.Start();
+    std::printf("coordinating on 127.0.0.1:%u\n",
+                static_cast<unsigned>(server.port()));
+    if (cli.GetBool("serve")) {
+      while (server.running()) {
+        std::this_thread::sleep_for(std::chrono::seconds(1));
+      }
+      return 0;
+    }
+    double max_diff =
+        RunClientDemo(served, server.port(),
+                      static_cast<std::size_t>(cli.GetInt("batches")));
+    server.Stop();
+    std::printf("serving correctness: max diff vs local oracle = %.2e\n",
+                max_diff);
+    return max_diff < 1e-9 ? 0 : 1;
+  }
 
   // ---- Producer side. The dataset is generated ONLY when the artifact is
   // absent: a server restart touches no construction code at all (not even
@@ -268,6 +377,43 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // ---- Cluster-manifest derivation: map the store's row ranges onto the
+  // named worker endpoints (round-robin, --replicas endpoints per range),
+  // write the manifest, and exit -- a coordinator then loads it.
+  if (!cli.GetString("workers").empty()) {
+    if (sharded == nullptr) {
+      std::fprintf(stderr,
+                   "--workers needs a sharded --store artifact (the cluster "
+                   "manifest routes its row ranges)\n");
+      return 2;
+    }
+    try {
+      std::vector<WorkerEndpoint> endpoints =
+          ParseEndpoints(cli.GetString("workers"));
+      ClusterManifest cluster = DeriveClusterManifest(
+          sharded->manifest(), endpoints,
+          static_cast<std::size_t>(cli.GetInt("replicas")));
+      std::string out = cli.GetString("cluster-manifest");
+      if (out.empty()) out = store_dir + "/" + kClusterManifestFileName;
+      cluster.Save(out);
+      std::printf("wrote %s: %zu row ranges over %zu workers to %s\n",
+                  cluster.FormatTag().c_str(), cluster.ranges.size(),
+                  cluster.WorkerCount(), out.c_str());
+      for (const ClusterRange& range : cluster.ranges) {
+        std::printf("  rows [%llu, %llu) -> %s%s\n",
+                    static_cast<unsigned long long>(range.row_begin),
+                    static_cast<unsigned long long>(range.row_end),
+                    range.workers.front().ToString().c_str(),
+                    range.workers.size() > 1 ? " (+replicas)" : "");
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error deriving cluster manifest: %s\n",
+                   e.what());
+      return 1;
+    }
+    return 0;
+  }
+
   // ---- Network side: the loaded matrix goes straight behind the server
   // (the same compressed representation answers every request; batching
   // coalesces compatible pipelined requests into one multi-vector call).
@@ -280,10 +426,11 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(cli.GetInt("max-resident-shards"));
   Server server(served, config);
   server.Start();
-  std::printf("serving on 127.0.0.1:%u\n",
-              static_cast<unsigned>(server.port()));
+  std::printf("serving on 127.0.0.1:%u%s\n",
+              static_cast<unsigned>(server.port()),
+              cli.GetBool("worker") ? " (worker)" : "");
 
-  if (cli.GetBool("serve")) {
+  if (cli.GetBool("serve") || cli.GetBool("worker")) {
     // Stay up for external clients until killed.
     while (server.running()) {
       std::this_thread::sleep_for(std::chrono::seconds(1));

@@ -17,6 +17,7 @@
 #include "matrix/csrv.hpp"
 #include "matrix/dense_matrix.hpp"
 #include "matrix/sparse_builder.hpp"
+#include "net/cluster/cluster_serving.hpp"
 #include "serving/sharded_matrix.hpp"
 #include "util/thread_pool.hpp"
 
@@ -380,6 +381,12 @@ const std::vector<SpecFamily>& Registry() {
        {"inner", "rows_per_shard", "shards", "target_bytes"},
        &BuildShardedFromSpec,
        &LoadShardedFromSnapshot},
+      {"cluster",
+       {},
+       {"inner", "manifest", "replicas", "rows_per_shard", "shards",
+        "workers"},
+       &BuildClusterFromSpec,
+       &LoadClusterFromSnapshot},
       {"auto", {}, {"budget", "blocks", "sample_rows", "probe"},
        &BuildAutoSpec, nullptr},
   };

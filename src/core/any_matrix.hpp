@@ -34,6 +34,10 @@
 //    sharded                        scatter/gather over row-range shards
 //        ?inner=SPEC                (serving/sharded_matrix.hpp; the inner
 //        &rows_per_shard=N|shards=N|target_bytes=B   spec escapes '&' as '+')
+//    cluster                        multi-node scatter over loopback workers
+//        ?inner=SPEC &workers=W     (net/cluster/cluster_serving.hpp; a
+//        &shards=N &replicas=R      saved manifest connects to external
+//        &manifest=...              workers instead)
 //    auto                           format advisor (Section 4.2 mechanism)
 //        ?budget=64MiB &blocks=N &sample_rows=N
 //

@@ -1,0 +1,63 @@
+// Capped exponential retry backoff with deterministic, seedable jitter.
+//
+// Shared by the cluster client (retry-with-failover) and available to any
+// future reconnect loop. Header-only and allocation-free: a policy struct
+// plus a small stateful iterator. Jitter comes from the repo's xoshiro Rng,
+// so a test that fixes the seed sees the exact same delay sequence on every
+// run -- determinism is a feature of this codebase, and the backoff helper
+// is no exception.
+#pragma once
+
+#include <algorithm>
+
+#include "util/common.hpp"
+#include "util/rng.hpp"
+
+namespace gcm {
+
+/// Delay schedule: attempt k (0-based) waits
+///   min(initial_ms * multiplier^k, max_ms) * (1 - jitter * u_k)
+/// where u_k is uniform in [0, 1) from the seeded Rng. jitter in [0, 1]
+/// shrinks delays only (never lengthens), so max_ms stays a hard bound.
+struct BackoffPolicy {
+  u64 initial_ms = 10;
+  double multiplier = 2.0;
+  u64 max_ms = 1000;
+  double jitter = 0.2;
+};
+
+class Backoff {
+ public:
+  explicit Backoff(BackoffPolicy policy, u64 seed = 0)
+      : policy_(policy), rng_(seed) {
+    GCM_CHECK_MSG(policy_.multiplier >= 1.0,
+                  "backoff multiplier must be >= 1, got "
+                      << policy_.multiplier);
+    GCM_CHECK_MSG(policy_.jitter >= 0.0 && policy_.jitter <= 1.0,
+                  "backoff jitter must be in [0, 1], got " << policy_.jitter);
+  }
+
+  /// Delay before the next retry, in milliseconds; advances the schedule.
+  u64 NextDelayMs() {
+    double base = static_cast<double>(policy_.initial_ms);
+    for (u64 k = 0; k < attempt_; ++k) {
+      base *= policy_.multiplier;
+      if (base >= static_cast<double>(policy_.max_ms)) break;
+    }
+    base = std::min(base, static_cast<double>(policy_.max_ms));
+    ++attempt_;
+    double scaled = base * (1.0 - policy_.jitter * rng_.NextDouble());
+    return static_cast<u64>(scaled);
+  }
+
+  u64 attempt() const { return attempt_; }
+
+  void Reset() { attempt_ = 0; }
+
+ private:
+  BackoffPolicy policy_;
+  Rng rng_;
+  u64 attempt_ = 0;
+};
+
+}  // namespace gcm

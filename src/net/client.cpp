@@ -25,8 +25,11 @@ u64 Client::SendMvmRight(std::span<const double> x, u64 row_begin,
   return SendRequest(MsgType::kMvmRight, out.buffer());
 }
 
-u64 Client::SendMvmLeft(std::span<const double> y) {
+u64 Client::SendMvmLeft(std::span<const double> y, u64 row_begin,
+                        u64 row_end) {
   MvmRequest request;
+  request.row_begin = row_begin;
+  request.row_end = row_end;
   request.x.assign(y.begin(), y.end());
   ByteWriter out;
   request.EncodeTo(&out);
@@ -36,6 +39,14 @@ u64 Client::SendMvmLeft(std::span<const double> y) {
 u64 Client::SendPing() { return SendRequest(MsgType::kPing, {}); }
 
 u64 Client::SendInfo() { return SendRequest(MsgType::kInfo, {}); }
+
+u64 Client::SendHello(const HelloRequest& hello) {
+  ByteWriter out;
+  hello.EncodeTo(&out);
+  return SendRequest(MsgType::kHello, out.buffer());
+}
+
+u64 Client::SendHealth() { return SendRequest(MsgType::kHealth, {}); }
 
 Client::Response Client::Await(u64 request_id) {
   for (;;) {
@@ -62,6 +73,12 @@ Client::Response Client::Await(u64 request_id) {
         break;
       case MsgType::kMvmReply:
         response.values = std::move(MvmReply::DecodeFrom(&in).values);
+        break;
+      case MsgType::kHelloReply:
+        response.hello = HelloReply::DecodeFrom(&in);
+        break;
+      case MsgType::kHealthReply:
+        response.health = HealthReply::DecodeFrom(&in);
         break;
       case MsgType::kError: {
         ErrorReply reply = ErrorReply::DecodeFrom(&in);
@@ -95,8 +112,9 @@ std::vector<double> Client::MvmRight(std::span<const double> x, u64 row_begin,
   return std::move(response.values);
 }
 
-std::vector<double> Client::MvmLeft(std::span<const double> y) {
-  Response response = Await(SendMvmLeft(y));
+std::vector<double> Client::MvmLeft(std::span<const double> y, u64 row_begin,
+                                    u64 row_end) {
+  Response response = Await(SendMvmLeft(y, row_begin, row_end));
   if (response.type != MsgType::kMvmReply) ThrowErrorReply("MvmLeft", response);
   return std::move(response.values);
 }
@@ -110,6 +128,22 @@ ServerInfo Client::Info() {
 void Client::Ping() {
   Response response = Await(SendPing());
   if (response.type != MsgType::kPong) ThrowErrorReply("Ping", response);
+}
+
+HelloReply Client::Hello(const HelloRequest& hello) {
+  Response response = Await(SendHello(hello));
+  if (response.type != MsgType::kHelloReply) {
+    ThrowErrorReply("Hello", response);
+  }
+  return response.hello;
+}
+
+HealthReply Client::Health() {
+  Response response = Await(SendHealth());
+  if (response.type != MsgType::kHealthReply) {
+    ThrowErrorReply("Health", response);
+  }
+  return response.health;
 }
 
 void Client::Close() { socket_.ShutdownBoth(); }

@@ -36,6 +36,8 @@ class Client {
     std::string message;
     std::vector<double> values;  ///< kMvmReply payload
     ServerInfo info;             ///< kInfoReply payload
+    HelloReply hello;            ///< kHelloReply payload
+    HealthReply health;          ///< kHealthReply payload
     std::chrono::steady_clock::time_point recv_time;  ///< frame read time
   };
 
@@ -47,9 +49,15 @@ class Client {
   /// y = M x over [row_begin, row_end) (0, 0 = every row).
   u64 SendMvmRight(std::span<const double> x, u64 row_begin = 0,
                    u64 row_end = 0);
-  u64 SendMvmLeft(std::span<const double> y);
+  /// Partial left multiply over [row_begin, row_end) (0, 0 = every row;
+  /// ranged lefts need a shard-aligned range on a sharded server and `y`
+  /// carries row_end - row_begin entries).
+  u64 SendMvmLeft(std::span<const double> y, u64 row_begin = 0,
+                  u64 row_end = 0);
   u64 SendPing();
   u64 SendInfo();
+  u64 SendHello(const HelloRequest& hello);
+  u64 SendHealth();
 
   /// Blocks until the reply for `request_id` arrives. Replies for other
   /// in-flight ids read along the way are buffered for their own Await.
@@ -61,9 +69,14 @@ class Client {
 
   std::vector<double> MvmRight(std::span<const double> x, u64 row_begin = 0,
                                u64 row_end = 0);
-  std::vector<double> MvmLeft(std::span<const double> y);
+  std::vector<double> MvmLeft(std::span<const double> y, u64 row_begin = 0,
+                              u64 row_end = 0);
   ServerInfo Info();
   void Ping();
+  /// Version/capability handshake; a kCapabilityMismatch or kBadVersion
+  /// error reply surfaces as gcm::Error naming the code.
+  HelloReply Hello(const HelloRequest& hello);
+  HealthReply Health();
 
   /// Half-closes the connection (the server sees a clean EOF).
   void Close();

@@ -1,0 +1,102 @@
+// ClusterManifest: row-range -> worker-endpoint routing for multi-node
+// serving.
+//
+// The cluster counterpart of serving/shard_manifest.hpp: where a
+// ShardManifest maps each contiguous row range to a shard *file*, a
+// ClusterManifest maps each range to one or more worker *endpoints*
+// (replicas, in failover-preference order). The coordinator scatters a
+// multiply as one row-range request per range and gathers the partials in
+// manifest order, so results stay bitwise equal to the local ShardedMatrix
+// (see net/cluster/remote_sharded_matrix.hpp).
+//
+// Ranges must tile [0, rows) contiguously, exactly like shard manifests --
+// DeriveClusterManifest produces one range per shard of a ShardManifest
+// (never merging shards), which is what keeps a gathered *left* multiply
+// bitwise equal to the local per-shard fold.
+//
+// Persistence mirrors ShardManifest: the serialized form is the "cluster"
+// section of a snapshot container whose spec string is FormatTag(), with
+// the standard "meta" section (rows, cols, compressed bytes) beside it.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace gcm {
+
+class ByteReader;
+class ByteWriter;
+class SnapshotReader;
+struct ShardManifest;
+
+/// Snapshot section name of the serialized cluster manifest.
+inline constexpr const char* kClusterManifestSection = "cluster";
+
+/// Conventional file name of a saved cluster manifest.
+inline constexpr const char* kClusterManifestFileName = "cluster.gcsnap";
+
+/// One worker server: numeric IPv4 host + port.
+struct WorkerEndpoint {
+  std::string host;
+  u16 port = 0;
+
+  bool operator==(const WorkerEndpoint&) const = default;
+  std::string ToString() const { return host + ':' + std::to_string(port); }
+};
+
+/// A contiguous row range and the workers that can serve it. workers[0] is
+/// the preferred replica; the coordinator fails over down the list.
+struct ClusterRange {
+  std::size_t row_begin = 0;
+  std::size_t row_end = 0;  ///< exclusive
+  std::vector<WorkerEndpoint> workers;
+
+  std::size_t rows() const { return row_end - row_begin; }
+  bool operator==(const ClusterRange&) const = default;
+};
+
+/// Row-range -> worker routing for one served matrix.
+struct ClusterManifest {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::vector<ClusterRange> ranges;
+
+  bool operator==(const ClusterManifest&) const = default;
+
+  /// Distinct endpoints across all ranges.
+  std::size_t WorkerCount() const;
+
+  /// "cluster?shards=R&workers=W" -- the spec string of a saved manifest.
+  std::string FormatTag() const;
+
+  /// Structural integrity: at least one range, ranges non-empty and tiling
+  /// [0, rows) contiguously, every range with at least one worker, every
+  /// worker with a host. Throws gcm::Error naming the offender.
+  void Validate() const;
+
+  /// Payload serialization (the "cluster" snapshot section).
+  void SerializeInto(ByteWriter* writer) const;
+  static ClusterManifest DeserializeFrom(ByteReader* reader);
+
+  /// Whole-file persistence, mirroring ShardManifest::Save/Load.
+  void Save(const std::string& path) const;
+  static ClusterManifest Load(const std::string& path);
+
+  /// Extracts + validates the cluster section of an open snapshot.
+  static ClusterManifest FromSnapshot(const SnapshotReader& reader);
+};
+
+/// Routes each shard of `manifest` to `replicas` of the given workers,
+/// round-robin by shard index: shard i is served by workers
+/// [i % W, (i+1) % W, ...) -- `replicas` distinct endpoints (clamped to W).
+/// One range per shard, never merged, so a gathered left multiply stays
+/// bitwise equal to the local fold. Throws gcm::Error when `workers` is
+/// empty or `replicas` is zero.
+ClusterManifest DeriveClusterManifest(
+    const ShardManifest& manifest, const std::vector<WorkerEndpoint>& workers,
+    std::size_t replicas = 1);
+
+}  // namespace gcm

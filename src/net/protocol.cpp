@@ -4,6 +4,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -31,6 +32,8 @@ bool IsRequestType(MsgType type) {
     case MsgType::kInfo:
     case MsgType::kMvmRight:
     case MsgType::kMvmLeft:
+    case MsgType::kHello:
+    case MsgType::kHealth:
       return true;
     default:
       return false;
@@ -43,10 +46,14 @@ bool IsKnownType(u16 type) {
     case MsgType::kInfo:
     case MsgType::kMvmRight:
     case MsgType::kMvmLeft:
+    case MsgType::kHello:
+    case MsgType::kHealth:
     case MsgType::kPong:
     case MsgType::kInfoReply:
     case MsgType::kMvmReply:
     case MsgType::kError:
+    case MsgType::kHelloReply:
+    case MsgType::kHealthReply:
       return true;
     default:
       return false;
@@ -67,6 +74,9 @@ const char* NetErrorName(NetError code) {
     case NetError::kQueueFull: return "queue_full";
     case NetError::kShuttingDown: return "shutting_down";
     case NetError::kInternal: return "internal";
+    case NetError::kDeadlineExceeded: return "deadline_exceeded";
+    case NetError::kNoReplica: return "no_replica";
+    case NetError::kCapabilityMismatch: return "capability_mismatch";
   }
   return "unknown_error";
 }
@@ -222,6 +232,59 @@ ErrorReply ErrorReply::DecodeFrom(ByteReader* in) {
   return reply;
 }
 
+void HelloRequest::EncodeTo(ByteWriter* out) const {
+  out->Put<u16>(version);
+  out->PutVarint(capabilities);
+  out->PutVarint(required);
+  out->PutString(peer);
+}
+
+HelloRequest HelloRequest::DecodeFrom(ByteReader* in) {
+  HelloRequest request;
+  request.version = in->Get<u16>();
+  request.capabilities = in->GetVarint();
+  request.required = in->GetVarint();
+  request.peer = in->GetString();
+  CheckFullyConsumed(*in, "HelloRequest");
+  return request;
+}
+
+void HelloReply::EncodeTo(ByteWriter* out) const {
+  out->Put<u16>(version);
+  out->PutVarint(capabilities);
+  out->PutVarint(rows);
+  out->PutVarint(cols);
+  out->PutString(format_tag);
+}
+
+HelloReply HelloReply::DecodeFrom(ByteReader* in) {
+  HelloReply reply;
+  reply.version = in->Get<u16>();
+  reply.capabilities = in->GetVarint();
+  reply.rows = in->GetVarint();
+  reply.cols = in->GetVarint();
+  reply.format_tag = in->GetString();
+  CheckFullyConsumed(*in, "HelloReply");
+  return reply;
+}
+
+void HealthReply::EncodeTo(ByteWriter* out) const {
+  out->Put<u8>(accepting);
+  out->PutVarint(queue_depth);
+  out->PutVarint(resident_shards);
+  out->PutVarint(requests_served);
+}
+
+HealthReply HealthReply::DecodeFrom(ByteReader* in) {
+  HealthReply reply;
+  reply.accepting = in->Get<u8>();
+  reply.queue_depth = in->GetVarint();
+  reply.resident_shards = in->GetVarint();
+  reply.requests_served = in->GetVarint();
+  CheckFullyConsumed(*in, "HealthReply");
+  return reply;
+}
+
 // ---------------------------------------------------------------------------
 // Socket transport
 // ---------------------------------------------------------------------------
@@ -282,6 +345,12 @@ bool Socket::RecvAll(std::span<u8> data) {
     ssize_t n = ::recv(fd_, data.data() + got, data.size() - got, 0);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Only reachable with a SetRecvTimeout armed (sockets here are
+        // blocking otherwise); name it so callers can classify "slow".
+        throw RecvTimeout("recv timed out (" + std::to_string(got) + " of " +
+                          std::to_string(data.size()) + " bytes)");
+      }
       ThrowErrno("recv");
     }
     if (n == 0) {
@@ -296,6 +365,20 @@ bool Socket::RecvAll(std::span<u8> data) {
 
 void Socket::ShutdownBoth() {
   if (valid()) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::ShutdownRead() {
+  if (valid()) ::shutdown(fd_, SHUT_RD);
+}
+
+void Socket::SetRecvTimeout(u64 ms) {
+  GCM_CHECK_MSG(valid(), "timeout on a closed socket");
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(ms / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((ms % 1000) * 1000);
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+    ThrowErrno("setsockopt(SO_RCVTIMEO)");
+  }
 }
 
 void Socket::Close() {

@@ -14,10 +14,12 @@
 //    20      4     payload_crc    Crc32 of the payload bytes
 //    24      n     payload        ByteWriter/ByteReader-encoded body
 //
-// Requests: Ping (empty), Info (empty), MvmRight / MvmLeft (MvmRequest).
-// Responses: Pong (empty), InfoReply (ServerInfo), MvmReply (values), and
-// Error (ErrorReply: a NetError code + message). Responses echo the
-// request's id, so a pipelined client can match them out of order.
+// Requests: Ping (empty), Info (empty), MvmRight / MvmLeft (MvmRequest),
+// Hello (HelloRequest: version/capability negotiation), Health (empty).
+// Responses: Pong (empty), InfoReply (ServerInfo), MvmReply (values),
+// HelloReply, HealthReply, and Error (ErrorReply: a NetError code +
+// message). Responses echo the request's id, so a pipelined client can
+// match them out of order.
 //
 // Error discipline mirrors the snapshot loaders: anything wrong with the
 // *stream* (bad magic, unknown version, oversized length) throws
@@ -55,11 +57,15 @@ enum class MsgType : u16 {
   kInfo = 2,
   kMvmRight = 3,  ///< y = M x, optionally restricted to a row range
   kMvmLeft = 4,   ///< x^t = y^t M
+  kHello = 5,     ///< version/capability negotiation (HelloRequest)
+  kHealth = 6,    ///< liveness + load probe (empty body)
   // Responses.
   kPong = 64,
   kInfoReply = 65,
   kMvmReply = 66,
   kError = 67,
+  kHelloReply = 68,
+  kHealthReply = 69,
 };
 
 bool IsRequestType(MsgType type);
@@ -79,7 +85,18 @@ enum class NetError : u16 {
   kQueueFull = 9,
   kShuttingDown = 10,
   kInternal = 11,
+  kDeadlineExceeded = 12,    ///< a cluster request missed its deadline
+  kNoReplica = 13,           ///< no replica could serve a row range
+  kCapabilityMismatch = 14,  ///< hello required capabilities we lack
 };
+
+// Capability bits advertised in the hello handshake. A peer that *requires*
+// a bit this build does not speak is answered with kCapabilityMismatch, so
+// future extensions fail by name instead of by malformed frame.
+inline constexpr u64 kCapRowRangeMvm = 1u << 0;  ///< row-range MvmRequest
+inline constexpr u64 kCapHealth = 1u << 1;       ///< health probe frames
+/// All capability bits this build speaks.
+inline constexpr u64 kNetCapabilities = kCapRowRangeMvm | kCapHealth;
 
 /// Stable lower_snake name for a NetError (total: unknown codes map to
 /// "unknown_error", so logging a hostile code cannot itself fail).
@@ -91,6 +108,20 @@ const char* NetErrorName(NetError code);
 class ProtocolError : public Error {
  public:
   ProtocolError(NetError code, const std::string& what)
+      : Error(what), code_(code) {}
+  NetError code() const { return code_; }
+
+ private:
+  NetError code_;
+};
+
+/// Request-level failure with a named code. The cluster layer throws this
+/// when a scatter cannot complete (no replica, deadline, capability
+/// mismatch); a server executing the request catches it and answers with an
+/// Error frame carrying the code -- the connection stays up.
+class RpcError : public Error {
+ public:
+  RpcError(NetError code, const std::string& what)
       : Error(what), code_(code) {}
   NetError code() const { return code_; }
 
@@ -185,9 +216,58 @@ struct ErrorReply {
   static ErrorReply DecodeFrom(ByteReader* in);
 };
 
+/// Hello body: version + capability negotiation. `required` names the
+/// capability bits the peer cannot work without; a server lacking any of
+/// them answers kCapabilityMismatch instead of a HelloReply. `peer` is a
+/// free-form identity string for logs ("coordinator", "worker:3", ...).
+struct HelloRequest {
+  u16 version = kNetProtocolVersion;
+  u64 capabilities = kNetCapabilities;
+  u64 required = 0;
+  std::string peer;
+
+  void EncodeTo(ByteWriter* out) const;
+  static HelloRequest DecodeFrom(ByteReader* in);
+};
+
+/// HelloReply body: the server's version/capabilities plus the serving
+/// matrix identity, so a coordinator can validate a worker's dimensions
+/// before routing any row range to it.
+struct HelloReply {
+  u16 version = kNetProtocolVersion;
+  u64 capabilities = kNetCapabilities;
+  u64 rows = 0;
+  u64 cols = 0;
+  std::string format_tag;
+
+  void EncodeTo(ByteWriter* out) const;
+  static HelloReply DecodeFrom(ByteReader* in);
+};
+
+/// HealthReply body: a cheap liveness + load probe (the coordinator uses it
+/// to prefer idle replicas without paying for a full InfoReply).
+struct HealthReply {
+  u8 accepting = 1;  ///< 0 once the server has begun shutting down
+  u64 queue_depth = 0;
+  u64 resident_shards = 0;
+  u64 requests_served = 0;
+
+  void EncodeTo(ByteWriter* out) const;
+  static HealthReply DecodeFrom(ByteReader* in);
+};
+
 // ---------------------------------------------------------------------------
 // Socket transport
 // ---------------------------------------------------------------------------
+
+/// Thrown by Socket::RecvAll when a receive timeout set via
+/// SetRecvTimeout expires before any byte arrives. Distinct from Error so
+/// the cluster client can classify "slow replica" apart from "dead
+/// replica" when deciding whether to fail over.
+class RecvTimeout : public Error {
+ public:
+  using Error::Error;
+};
 
 /// Thin move-only RAII wrapper over a connected stream socket. Transport
 /// failures (ECONNRESET, EPIPE, ...) throw gcm::Error; SIGPIPE is
@@ -219,6 +299,15 @@ class Socket {
   /// Half-closes both directions (wakes a peer blocked in recv); the fd
   /// stays open until destruction.
   void ShutdownBoth();
+
+  /// Half-closes the read side only: a local thread blocked in RecvAll
+  /// observes EOF, but replies already queued on the write side still
+  /// reach the peer.
+  void ShutdownRead();
+
+  /// Arms (ms > 0) or disarms (ms == 0) a receive timeout; an expired
+  /// timeout surfaces from RecvAll as RecvTimeout.
+  void SetRecvTimeout(u64 ms);
 
   void Close();
 

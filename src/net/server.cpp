@@ -83,9 +83,38 @@ void Server::Stop() {
   queue_cv_.notify_all();
 
   // The dispatcher exits at the top of its loop (after finishing any
-  // in-flight batch); then answer everything still queued while the reply
-  // sockets are still open.
+  // in-flight batch).
   if (dispatcher_thread_.joinable()) dispatcher_thread_.join();
+
+  // Shutdown (not close) wakes the blocked ::accept; the fd is closed
+  // after the join so the accept loop never reads a recycled descriptor,
+  // and a rapid bind/stop cycle in tests can re-bind immediately
+  // (SO_REUSEADDR covers the TIME_WAIT remnants of the connections).
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+
+  // Join the reader threads BEFORE draining the queue: a reader still
+  // inside HandleFrame could otherwise admit a request after the drain
+  // swapped the queue, and that request would never be answered. Read-side
+  // shutdown only -- the write sides must stay open so the drain's
+  // kShuttingDown replies below still reach the peers.
+  std::vector<std::shared_ptr<Connection>> connections;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    connections.swap(connections_);
+  }
+  for (const std::shared_ptr<Connection>& conn : connections) {
+    conn->socket.ShutdownRead();
+  }
+  for (const std::shared_ptr<Connection>& conn : connections) {
+    if (conn->reader.joinable()) conn->reader.join();
+  }
+
+  // Answer everything still queued while the reply sockets are open.
   {
     std::deque<PendingMvm> drained;
     {
@@ -98,25 +127,8 @@ void Server::Stop() {
     }
   }
 
-  // Shutdown (not close) wakes the blocked ::accept; the fd is closed
-  // after the join so the accept loop never reads a recycled descriptor.
-  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
-  if (accept_thread_.joinable()) accept_thread_.join();
-  if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-  }
-
-  std::vector<std::shared_ptr<Connection>> connections;
-  {
-    std::lock_guard<std::mutex> lock(conn_mu_);
-    connections.swap(connections_);
-  }
   for (const std::shared_ptr<Connection>& conn : connections) {
     conn->socket.ShutdownBoth();
-  }
-  for (const std::shared_ptr<Connection>& conn : connections) {
-    if (conn->reader.joinable()) conn->reader.join();
   }
   running_ = false;
 }
@@ -235,7 +247,10 @@ void Server::ConnectionLoop(std::shared_ptr<Connection> conn) {
     if (!frame.has_value()) break;  // clean EOF between frames
     HandleFrame(conn, *frame);
   }
-  conn->socket.ShutdownBoth();
+  // During Stop() the teardown sequence owns the socket: replies to
+  // drained requests still need the write side, so only shut it ourselves
+  // when the peer (not Stop) ended the stream.
+  if (!stopping_) conn->socket.ShutdownBoth();
   conn->done = true;
 }
 
@@ -250,6 +265,57 @@ void Server::HandleFrame(const std::shared_ptr<Connection>& conn,
       ByteWriter out;
       Info().EncodeTo(&out);
       SendFrameTo(*conn, MsgType::kInfoReply, id, out.buffer());
+      return;
+    }
+    case MsgType::kHello: {
+      HelloRequest hello;
+      try {
+        ByteReader in(frame.payload);
+        hello = HelloRequest::DecodeFrom(&in);
+      } catch (const Error& e) {
+        SendErrorTo(*conn, id, NetError::kMalformedPayload, e.what());
+        return;
+      }
+      // The frame header already pinned the version; the body repeats it
+      // for forward compatibility with future multi-version framing.
+      if (hello.version != kNetProtocolVersion) {
+        SendErrorTo(*conn, id, NetError::kBadVersion,
+                    "peer speaks protocol version " +
+                        std::to_string(hello.version) + ", this server " +
+                        std::to_string(kNetProtocolVersion));
+        return;
+      }
+      const u64 missing = hello.required & ~kNetCapabilities;
+      if (missing != 0) {
+        SendErrorTo(*conn, id, NetError::kCapabilityMismatch,
+                    "peer \"" + hello.peer + "\" requires capability bits " +
+                        std::to_string(missing) +
+                        " this server does not speak");
+        return;
+      }
+      HelloReply reply;
+      reply.rows = matrix_.rows();
+      reply.cols = matrix_.cols();
+      reply.format_tag = matrix_.FormatTag();
+      ByteWriter out;
+      reply.EncodeTo(&out);
+      SendFrameTo(*conn, MsgType::kHelloReply, id, out.buffer());
+      return;
+    }
+    case MsgType::kHealth: {
+      HealthReply health;
+      health.accepting = stopping_ ? 0 : 1;
+      health.queue_depth = QueueDepth();
+      if (sharded_ != nullptr) {
+        health.resident_shards = sharded_->LoadedShardCount();
+      }
+      {
+        std::lock_guard<std::mutex> stats_lock(stats_mu_);
+        health.requests_served = stats_.replies_sent;
+      }
+      ByteWriter out;
+      health.EncodeTo(&out);
+      SendFrameTo(*conn, MsgType::kHealthReply, id, out.buffer());
       return;
     }
     case MsgType::kMvmRight:
@@ -273,27 +339,40 @@ void Server::HandleFrame(const std::shared_ptr<Connection>& conn,
     return;
   }
 
-  const std::size_t expected = right ? matrix_.cols() : matrix_.rows();
+  // Range first, dimensions second: a ranged *left* multiply carries one
+  // input entry per row in the range, so the expected size depends on a
+  // validated range.
+  const bool full_range = request.row_begin == 0 && request.row_end == 0;
+  if (full_range) {
+    request.row_end = matrix_.rows();  // normalize: full range spelled out
+  } else if (request.row_begin >= request.row_end ||
+             request.row_end > matrix_.rows()) {
+    SendErrorTo(*conn, id, NetError::kBadRowRange,
+                "row range [" + std::to_string(request.row_begin) + ", " +
+                    std::to_string(request.row_end) + ") invalid for " +
+                    std::to_string(matrix_.rows()) + " rows");
+    return;
+  } else if (!right && (sharded_ == nullptr ||
+                        !sharded_->RangeAlignedToShards(request.row_begin,
+                                                        request.row_end))) {
+    // A ranged left multiply is a *partial sum* over the named rows; it is
+    // served only when the range tiles exactly onto shards, so the
+    // cluster-gathered sum stays bitwise equal to the local fold.
+    SendErrorTo(*conn, id, NetError::kBadRowRange,
+                "left multiplies take the full row range" +
+                    std::string(sharded_ != nullptr
+                                    ? " or a shard-aligned range"
+                                    : ""));
+    return;
+  }
+
+  const std::size_t expected =
+      right ? matrix_.cols()
+            : static_cast<std::size_t>(request.row_end - request.row_begin);
   if (request.x.size() != expected) {
     SendErrorTo(*conn, id, NetError::kDimensionMismatch,
                 "input has " + std::to_string(request.x.size()) +
                     " entries, matrix expects " + std::to_string(expected));
-    return;
-  }
-  if (right) {
-    if (request.row_begin == 0 && request.row_end == 0) {
-      request.row_end = matrix_.rows();  // normalize: full range spelled out
-    } else if (request.row_begin >= request.row_end ||
-               request.row_end > matrix_.rows()) {
-      SendErrorTo(*conn, id, NetError::kBadRowRange,
-                  "row range [" + std::to_string(request.row_begin) + ", " +
-                      std::to_string(request.row_end) + ") invalid for " +
-                      std::to_string(matrix_.rows()) + " rows");
-      return;
-    }
-  } else if (request.row_begin != 0 || request.row_end != 0) {
-    SendErrorTo(*conn, id, NetError::kBadRowRange,
-                "left multiplies take the full row range");
     return;
   }
 
@@ -436,16 +515,30 @@ void Server::ExecuteBatch(std::vector<PendingMvm>& batch) {
         }
       }
     } else {
+      const std::size_t begin = batch[0].row_begin;
+      const std::size_t end = batch[0].row_end;
+      const std::size_t in_rows = end - begin;
+      const bool full = begin == 0 && end == matrix_.rows();
       if (k == 1) {
-        results[0] = matrix_.MultiplyLeft(batch[0].x, ctx);
+        if (full) {
+          results[0] = matrix_.MultiplyLeft(batch[0].x, ctx);
+        } else {
+          // HandleFrame admits ranged lefts only when sharded_ != nullptr
+          // and the range is shard-aligned.
+          results[0].resize(matrix_.cols());
+          sharded_->MultiplyLeftRangeInto(batch[0].x, results[0], begin, end,
+                                          ctx);
+        }
       } else {
-        DenseMatrix x(k, matrix_.rows());
+        DenseMatrix x(k, in_rows);
         for (std::size_t j = 0; j < k; ++j) {
-          for (std::size_t r = 0; r < matrix_.rows(); ++r) {
+          for (std::size_t r = 0; r < in_rows; ++r) {
             x.Set(j, r, batch[j].x[r]);
           }
         }
-        DenseMatrix y = matrix_.MultiplyLeftMulti(x, ctx);
+        DenseMatrix y = full ? matrix_.MultiplyLeftMulti(x, ctx)
+                             : sharded_->MultiplyLeftRangeMulti(x, begin, end,
+                                                                ctx);
         for (std::size_t j = 0; j < k; ++j) {
           results[j].resize(matrix_.cols());
           for (std::size_t c = 0; c < matrix_.cols(); ++c) {
@@ -454,6 +547,14 @@ void Server::ExecuteBatch(std::vector<PendingMvm>& batch) {
         }
       }
     }
+  } catch (const RpcError& e) {
+    // A named request-level failure (the cluster layer classifying a
+    // scatter failure): forward the code so clients see no_replica /
+    // deadline_exceeded instead of a generic internal error.
+    for (const PendingMvm& pending : batch) {
+      SendErrorTo(*pending.conn, pending.request_id, e.code(), e.what());
+    }
+    return;
   } catch (const std::exception& e) {
     for (const PendingMvm& pending : batch) {
       SendErrorTo(*pending.conn, pending.request_id, NetError::kInternal,
@@ -462,18 +563,21 @@ void Server::ExecuteBatch(std::vector<PendingMvm>& batch) {
     return;
   }
 
-  for (std::size_t j = 0; j < k; ++j) {
-    ByteWriter out;
-    MvmReply{std::move(results[j])}.EncodeTo(&out);
-    SendFrameTo(*batch[j].conn, MsgType::kMvmReply, batch[j].request_id,
-                out.buffer());
-  }
+  // Counters first, replies second: a client that pipelines a health
+  // probe behind an MVM reply must observe its request counted (the
+  // probe cannot arrive before the reply frame it chases).
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.batches_dispatched;
     if (k >= 2) stats_.batched_requests += k;
     stats_.max_batch = std::max<u64>(stats_.max_batch, k);
     stats_.replies_sent += k;
+  }
+  for (std::size_t j = 0; j < k; ++j) {
+    ByteWriter out;
+    MvmReply{std::move(results[j])}.EncodeTo(&out);
+    SendFrameTo(*batch[j].conn, MsgType::kMvmReply, batch[j].request_id,
+                out.buffer());
   }
 }
 

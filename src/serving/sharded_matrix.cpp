@@ -436,6 +436,98 @@ DenseMatrix ShardedMatrix::MultiplyRightRangeMulti(const DenseMatrix& x,
   return y;
 }
 
+bool ShardedMatrix::RangeAlignedToShards(std::size_t row_begin,
+                                         std::size_t row_end) const {
+  if (row_begin >= row_end || row_end > rows()) return false;
+  bool begin_ok = false;
+  bool end_ok = false;
+  for (const std::unique_ptr<ShardState>& state : states_) {
+    if (state->entry.row_begin == row_begin) begin_ok = true;
+    if (state->entry.row_end == row_end) end_ok = true;
+  }
+  return begin_ok && end_ok;
+}
+
+void ShardedMatrix::MultiplyLeftRangeInto(std::span<const double> y,
+                                          std::span<double> x,
+                                          std::size_t row_begin,
+                                          std::size_t row_end,
+                                          const MulContext& ctx) const {
+  GCM_CHECK_MSG(RangeAlignedToShards(row_begin, row_end),
+                "left range [" << row_begin << ", " << row_end
+                               << ") is not shard-aligned");
+  GCM_CHECK_MSG(y.size() == row_end - row_begin,
+                "range kernel: input has " << y.size()
+                                           << " entries, expected "
+                                           << row_end - row_begin);
+  GCM_CHECK_MSG(x.size() == cols(), "range kernel: output has "
+                                        << x.size() << " entries, expected "
+                                        << cols());
+  // The first overlapping shard writes its partial straight into x (the
+  // inner kernel overwrites its whole output), later shards accumulate
+  // through a scratch partial in shard order. A one-shard range therefore
+  // produces exactly the term the full left kernel folds for that shard.
+  bool first = true;
+  std::vector<double> partial;
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    const ShardState& shard = *states_[i];
+    if (shard.entry.row_end <= row_begin || shard.entry.row_begin >= row_end) {
+      continue;
+    }
+    AnyMatrix m = Acquire(shard);
+    auto slice =
+        y.subspan(shard.entry.row_begin - row_begin, shard.entry.rows());
+    if (first) {
+      m.MultiplyLeftInto(slice, x, ctx);
+      first = false;
+    } else {
+      partial.resize(cols());
+      m.MultiplyLeftInto(slice, partial, ctx);
+      for (std::size_t c = 0; c < cols(); ++c) x[c] += partial[c];
+    }
+  }
+}
+
+DenseMatrix ShardedMatrix::MultiplyLeftRangeMulti(const DenseMatrix& x,
+                                                  std::size_t row_begin,
+                                                  std::size_t row_end,
+                                                  const MulContext& ctx) const {
+  GCM_CHECK_MSG(RangeAlignedToShards(row_begin, row_end),
+                "left range [" << row_begin << ", " << row_end
+                               << ") is not shard-aligned");
+  GCM_CHECK_MSG(x.cols() == row_end - row_begin,
+                "range kernel: input has " << x.cols()
+                                           << " columns, expected "
+                                           << row_end - row_begin);
+  const std::size_t k = x.rows();
+  DenseMatrix out(k, cols());
+  // Batched analog of MultiplyLeftRangeInto: first shard copies, later
+  // shards add, all in shard order; vector j of either is bitwise
+  // identical per the engine's multi contract.
+  bool first = true;
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    const ShardState& shard = *states_[i];
+    if (shard.entry.row_end <= row_begin || shard.entry.row_begin >= row_end) {
+      continue;
+    }
+    AnyMatrix m = Acquire(shard);
+    DenseMatrix slice(k, shard.entry.rows());
+    for (std::size_t j = 0; j < k; ++j) {
+      for (std::size_t c = 0; c < shard.entry.rows(); ++c) {
+        slice.Set(j, c, x.At(j, shard.entry.row_begin - row_begin + c));
+      }
+    }
+    DenseMatrix part = m.MultiplyLeftMulti(slice, ctx);
+    for (std::size_t j = 0; j < k; ++j) {
+      for (std::size_t c = 0; c < cols(); ++c) {
+        out.Set(j, c, first ? part.At(j, c) : out.At(j, c) + part.At(j, c));
+      }
+    }
+    first = false;
+  }
+  return out;
+}
+
 DenseMatrix ShardedMatrix::ToDense() const {
   DenseMatrix out(rows(), cols());
   for (std::size_t i = 0; i < states_.size(); ++i) {
@@ -495,10 +587,10 @@ MatrixSpec InnerSpecFromSharded(const MatrixSpec& spec) {
   std::string inner_text =
       it == spec.params.end() ? std::string("csr") : DecodeInnerSpec(it->second);
   MatrixSpec inner = MatrixSpec::Parse(inner_text);
-  if (inner.family == "sharded") {
+  if (inner.family == "sharded" || inner.family == "cluster") {
     throw std::invalid_argument(
         "sharded specs cannot nest: inner spec \"" + inner_text +
-        "\" is itself sharded");
+        "\" is itself a scatter/gather family");
   }
   return inner;
 }

@@ -166,6 +166,31 @@ class ShardedMatrix final : public IMatrixKernel {
                                       std::size_t row_end,
                                       const MulContext& ctx = {}) const;
 
+  /// True when [row_begin, row_end) is a valid range that starts on some
+  /// shard's first row and ends on some shard's last row -- the ranges a
+  /// partial left multiply can serve (shards tile contiguously, so an
+  /// aligned range covers whole shards exactly).
+  bool RangeAlignedToShards(std::size_t row_begin, std::size_t row_end) const;
+
+  /// Partial left multiply over the rows in [row_begin, row_end): x gets
+  /// y^t M[row_begin:row_end, :] where y holds row_end - row_begin
+  /// entries. Requires a shard-aligned range; only overlapping shards are
+  /// touched. The partial of a one-shard range is written directly (not
+  /// zero+add), so it is bitwise identical to the term MultiplyLeftInto
+  /// folds for that shard -- which is what keeps a cluster-gathered left
+  /// multiply (coordinator summing per-shard partials in manifest order)
+  /// bitwise equal to the local kernel.
+  void MultiplyLeftRangeInto(std::span<const double> y, std::span<double> x,
+                             std::size_t row_begin, std::size_t row_end,
+                             const MulContext& ctx = {}) const;
+
+  /// Batched analog: x is k x (row_end - row_begin), result is k x cols,
+  /// vector j bitwise identical to MultiplyLeftRangeInto on row j of x.
+  DenseMatrix MultiplyLeftRangeMulti(const DenseMatrix& x,
+                                     std::size_t row_begin,
+                                     std::size_t row_end,
+                                     const MulContext& ctx = {}) const;
+
   DenseMatrix ToDense() const override;
 
   /// Sums the counters of *resident* shards only -- collecting stats must

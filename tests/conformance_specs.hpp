@@ -20,7 +20,8 @@ namespace gcm {
 inline std::vector<std::string> ConformanceSpecs() {
   std::vector<std::string> specs = AnyMatrix::ListSpecs();
   for (const std::string& base : AnyMatrix::ListSpecs()) {
-    if (base == "sharded") continue;  // nesting is rejected by design
+    // Nesting scatter/gather families is rejected by design.
+    if (base == "sharded" || base == "cluster") continue;
     specs.push_back("sharded?inner=" + base + "&rows_per_shard=16");
   }
   specs.push_back("gcm:re_32?blocks=4");
@@ -33,6 +34,10 @@ inline std::vector<std::string> ConformanceSpecs() {
   specs.push_back("auto?probe=modeled");
   // Inner specs escape '&' as '+'; the escaped form must conform too.
   specs.push_back("sharded?inner=gcm:re_ans?blocks=2+fold_bits=10&shards=3");
+  // Multi-node serving: a loopback cluster (real TCP workers) must be a
+  // drop-in kernel like everything else.
+  specs.push_back("cluster?workers=2&shards=3&inner=csr");
+  specs.push_back("cluster?workers=3&shards=3&replicas=2&inner=csrv");
   return specs;
 }
 
