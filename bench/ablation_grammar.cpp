@@ -87,10 +87,10 @@ int main(int argc, char** argv) {
     with_sentinel.forbidden_terminal = kCsrvSentinel;
     RePairConfig without_sentinel;  // $ may appear inside rules
     u64 excluded =
-        RePairCompress(csrv.sequence(), alphabet, with_sentinel)
+        RePairCompress(csrv.sequence().ToVector(), alphabet, with_sentinel)
             .IntegerCount();
     u64 free_form =
-        RePairCompress(csrv.sequence(), alphabet, without_sentinel)
+        RePairCompress(csrv.sequence().ToVector(), alphabet, without_sentinel)
             .IntegerCount();
     std::printf("%-10s | %12llu %12llu %8.2f%%\n", name,
                 static_cast<unsigned long long>(excluded),

@@ -13,6 +13,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <vector>
@@ -21,6 +22,7 @@
 #include "core/any_matrix.hpp"
 #include "core/blocked_matrix.hpp"
 #include "core/gc_matrix.hpp"
+#include "encoding/snapshot.hpp"
 #include "grammar/repair.hpp"
 #include "matrix/datasets.hpp"
 #include "reorder/column_similarity.hpp"
@@ -70,7 +72,7 @@ void BM_RePairCompress(benchmark::State& state) {
   config.forbidden_terminal = kCsrvSentinel;
   for (auto _ : state) {
     RePairResult result = RePairCompress(
-        csrv.sequence(), static_cast<u32>(alphabet), config);
+        csrv.sequence().ToVector(), static_cast<u32>(alphabet), config);
     benchmark::DoNotOptimize(result.final_sequence.data());
   }
   state.SetItemsProcessed(
@@ -334,6 +336,45 @@ void BM_ShardedMvmRightPooled(benchmark::State& state) {
   ShardedMvmRight(state, true);
 }
 BENCHMARK(BM_ShardedMvmRightPooled)->Unit(benchmark::kMicrosecond);
+
+// Cold-start cost of bringing one shard snapshot into service: the
+// copying path (read the whole file into a heap buffer, every array
+// owned) vs the zero-copy path (map the file, borrow payload arrays out
+// of the mapping). Each iteration deserializes and then runs one multiply
+// so the mapped variant pays its first-touch page faults inside the
+// timed region -- the honest comparison, since an untouched mapping is
+// free by construction. bytes_per_second is over the snapshot file, i.e.
+// cold shards brought into service per second per byte of store.
+const std::string& ShardSnapshotPath() {
+  static const std::string path = [] {
+    std::string p = (std::filesystem::temp_directory_path() /
+                     "gcm_bench_shard.gcsnap")
+                        .string();
+    AnyMatrix::Build(CensusMatrix(), "csr").Save(p);
+    return p;
+  }();
+  return path;
+}
+
+void ShardLoad(benchmark::State& state, bool mapped) {
+  const std::string& path = ShardSnapshotPath();
+  u64 file_bytes = ReadFileBytes(path).size();
+  std::vector<double> x = RandomVector(CensusMatrix().cols(), 17);
+  for (auto _ : state) {
+    AnyMatrix m = mapped ? AnyMatrix::Load(path)
+                         : AnyMatrix::LoadSnapshotBytes(ReadFileBytes(path));
+    std::vector<double> y = m.MultiplyRight(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetBytesProcessed(
+      state.iterations() * static_cast<benchmark::IterationCount>(file_bytes));
+}
+
+void BM_ShardLoadCopy(benchmark::State& state) { ShardLoad(state, false); }
+BENCHMARK(BM_ShardLoadCopy)->Unit(benchmark::kMicrosecond);
+
+void BM_ShardLoadMmap(benchmark::State& state) { ShardLoad(state, true); }
+BENCHMARK(BM_ShardLoadMmap)->Unit(benchmark::kMicrosecond);
 
 // Construction throughput of the producer pipeline: per-block RePair
 // builds of a blocked matrix, sequential vs on a 4-thread BuildContext

@@ -19,12 +19,14 @@
 
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <memory>
 #include <stdexcept>
 
 #include "core/any_matrix.hpp"
 #include "core/matrix_file.hpp"
 #include "core/power_iteration.hpp"
+#include "encoding/snapshot.hpp"
 #include "serving/matrix_store.hpp"
 #include "serving/sharded_matrix.hpp"
 #include "util/cli.hpp"
@@ -41,11 +43,14 @@ int Usage() {
       "[output]\n"
       "       [--spec SPEC] [--format csrv|re_32|re_iv|re_ans] [--iters N]\n"
       "       [--save-snapshot PATH] [--shards N] [--build-threads N]\n"
+      "       [--resave]\n"
       "inputs may be snapshots, binary dense/CSRV, MatrixMarket, dense "
       "text,\n"
       "or a sharded store manifest; --save-snapshot with --shards > 1 "
       "writes a\n"
-      "sharded store directory instead of a single snapshot file\n",
+      "sharded store directory instead of a single snapshot file;\n"
+      "`info --resave` rewrites a snapshot file or store in place in the\n"
+      "current container version (staged-temp + atomic rename)\n",
       stderr);
   return 2;
 }
@@ -95,6 +100,49 @@ void MaybeSaveSnapshot(const AnyMatrix& matrix, const CliParser& cli) {
               FormatBytes(matrix.CompressedBytes()).c_str(), path.c_str());
 }
 
+/// `info --resave`: rewrites `input` in place in the current container
+/// version. A store (directory, or a manifest file referencing sibling
+/// shards) migrates every shard plus the manifest through the
+/// failure-atomic MatrixStore pipeline; a single snapshot file is staged
+/// as `<input>.tmp` and renamed over the original, so a crash leaves the
+/// old file intact. Payloads are adopted as-is -- no RePair / rANS
+/// encoding re-runs.
+void ResaveInput(const std::string& input) {
+  namespace fs = std::filesystem;
+  if (fs::is_directory(input)) {
+    ShardManifest manifest = MatrixStore::Resave(input);
+    std::printf("resaved %zu-shard store %s in container v%u\n",
+                manifest.shards.size(), input.c_str(), kSnapshotVersion);
+    return;
+  }
+  SnapshotReader reader = SnapshotReader::FromFile(input);
+  u32 from_version = reader.version();
+  MatrixSpec spec = MatrixSpec::Parse(reader.spec());
+  bool store_manifest = spec.family == "sharded" &&
+                        reader.HasSection(kShardManifestSection) &&
+                        !reader.HasSection(ShardSectionName(0));
+  if (store_manifest) {
+    ShardManifest manifest = MatrixStore::Resave(input);
+    std::printf("resaved %zu-shard store %s (manifest v%u -> v%u)\n",
+                manifest.shards.size(), input.c_str(), from_version,
+                kSnapshotVersion);
+    return;
+  }
+  AnyMatrix matrix = AnyMatrix::LoadSnapshot(std::move(reader), input);
+  std::vector<u8> bytes = matrix.SaveSnapshotBytes();
+  std::string staged = input + ".tmp";
+  WriteFileBytes(staged, bytes);
+  std::error_code ec;
+  fs::rename(staged, input, ec);
+  if (ec) {
+    std::error_code ignore;
+    fs::remove(staged, ignore);
+    throw Error("cannot replace " + input + ": " + ec.message());
+  }
+  std::printf("resaved %s (v%u -> v%u, %s)\n", input.c_str(), from_version,
+              kSnapshotVersion, FormatBytes(bytes.size()).c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -110,6 +158,9 @@ int main(int argc, char** argv) {
   cli.AddFlag("build-threads", "1",
               "construction worker threads (1 = sequential, 0 = all "
               "hardware threads); output is identical either way");
+  cli.AddFlag("resave", "false",
+              "with `info`: rewrite the input snapshot or store in place "
+              "in the current container version (atomic)");
   if (!cli.Parse(argc, argv)) return 0;
   if (cli.positional().size() < 2) return Usage();
   const std::string& command = cli.positional()[0];
@@ -152,6 +203,10 @@ int main(int argc, char** argv) {
                   FormatBytes(result.peak_heap_bytes).c_str());
       MaybeSaveSnapshot(matrix, cli);
     } else if (command == "info") {
+      if (cli.GetBool("resave")) {
+        ResaveInput(input);
+        return 0;
+      }
       MatrixFileKind kind = SniffMatrixFile(input);
       AnyMatrix matrix = LoadAuto(input);
       std::printf("%s: %s file, %zux%zu, backend %s, %s\n", input.c_str(),

@@ -478,6 +478,29 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(ks.rule_cache_entries),
                 FormatBytes(ks.rule_cache_bytes_resident).c_str(),
                 FormatBytes(ks.rule_cache_capacity_bytes).c_str());
+    if (sharded != nullptr) {
+      // Page-granular residency: a mapped shard is charged only the pages
+      // the OS holds (mincore), so "resident" can sit well below "mapped"
+      // when requests touched a fraction of the payload -- the zero-copy
+      // snapshot path's whole point.
+      std::printf("  shard residency (mapped = live mmap span, resident = "
+                  "pages in RAM):\n");
+      u64 total_mapped = 0;
+      u64 total_resident = 0;
+      for (std::size_t i = 0; i < sharded->shard_count(); ++i) {
+        ShardedMatrix::ShardResidency info = sharded->ShardResidencyInfo(i);
+        total_mapped += info.mapped_bytes;
+        total_resident += info.resident_bytes;
+        std::printf("    shard %zu: %s mapped, %s resident%s\n", i,
+                    FormatBytes(info.mapped_bytes).c_str(),
+                    FormatBytes(info.resident_bytes).c_str(),
+                    info.resident ? "" : " (evicted)");
+      }
+      std::printf("    total: %s mapped, %s resident across %zu shards\n",
+                  FormatBytes(total_mapped).c_str(),
+                  FormatBytes(total_resident).c_str(),
+                  sharded->shard_count());
+    }
   }
 
   std::printf("serving correctness: max diff vs local oracle = %.2e\n",

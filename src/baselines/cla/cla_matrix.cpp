@@ -227,9 +227,9 @@ ClaMatrix ClaMatrix::Compress(const DenseMatrix& dense,
       row_tuple[r] = it->second;
     }
     group.tuple_count = dictionary.size();
-    group.dictionary.resize(group.tuple_count * g);
+    std::vector<double> dict_values(group.tuple_count * g);
     for (const auto& [key, id] : dictionary) {
-      std::memcpy(group.dictionary.data() + static_cast<std::size_t>(id) * g,
+      std::memcpy(dict_values.data() + static_cast<std::size_t>(id) * g,
                   key.bytes.data(), g * sizeof(double));
     }
 
@@ -244,24 +244,26 @@ ClaMatrix ClaMatrix::Compress(const DenseMatrix& dense,
     u64 best = exact.Best();
     if (best == exact.uc) {
       group.encoding = ClaEncoding::kUc;
-      group.uc_values.resize(dense.rows() * g);
+      std::vector<double> uc_values(dense.rows() * g);
       for (std::size_t r = 0; r < dense.rows(); ++r) {
         for (std::size_t k = 0; k < g; ++k) {
-          group.uc_values[r * g + k] = dense.At(r, columns[k]);
+          uc_values[r * g + k] = dense.At(r, columns[k]);
         }
       }
-      group.dictionary.clear();
+      group.uc_values = std::move(uc_values);
+      dict_values.clear();
       group.tuple_count = 0;
     } else if (best == exact.ddc) {
       group.encoding = ClaEncoding::kDdc;
-      group.ddc_ids.resize(dense.rows());
+      std::vector<u32> ddc_ids(dense.rows());
       for (std::size_t r = 0; r < dense.rows(); ++r) {
-        group.ddc_ids[r] = row_tuple[r] == kZero
-                               ? static_cast<u32>(group.tuple_count)
-                               : row_tuple[r];
+        ddc_ids[r] = row_tuple[r] == kZero ? static_cast<u32>(group.tuple_count)
+                                           : row_tuple[r];
       }
+      group.ddc_ids = std::move(ddc_ids);
     } else if (best == exact.rle) {
       group.encoding = ClaEncoding::kRle;
+      std::vector<Group::Run> rle_runs;
       for (std::size_t r = 0; r < dense.rows();) {
         if (row_tuple[r] == kZero) {
           ++r;
@@ -269,10 +271,11 @@ ClaMatrix ClaMatrix::Compress(const DenseMatrix& dense,
         }
         std::size_t end = r + 1;
         while (end < dense.rows() && row_tuple[end] == row_tuple[r]) ++end;
-        group.rle_runs.push_back({static_cast<u32>(r),
-                                  static_cast<u32>(end - r), row_tuple[r]});
+        rle_runs.push_back({static_cast<u32>(r), static_cast<u32>(end - r),
+                            row_tuple[r]});
         r = end;
       }
+      group.rle_runs = std::move(rle_runs);
     } else {
       group.encoding = ClaEncoding::kOle;
       std::vector<std::vector<u32>> lists(group.tuple_count);
@@ -281,12 +284,17 @@ ClaMatrix ClaMatrix::Compress(const DenseMatrix& dense,
           lists[row_tuple[r]].push_back(static_cast<u32>(r));
         }
       }
-      group.ole_offsets.push_back(0);
+      std::vector<u32> ole_offsets;
+      std::vector<u32> ole_rows;
+      ole_offsets.push_back(0);
       for (const auto& list : lists) {
-        group.ole_rows.insert(group.ole_rows.end(), list.begin(), list.end());
-        group.ole_offsets.push_back(static_cast<u32>(group.ole_rows.size()));
+        ole_rows.insert(ole_rows.end(), list.begin(), list.end());
+        ole_offsets.push_back(static_cast<u32>(ole_rows.size()));
       }
+      group.ole_offsets = std::move(ole_offsets);
+      group.ole_rows = std::move(ole_rows);
     }
+    group.dictionary = std::move(dict_values);
     cla.groups_.push_back(std::move(group));
   }
   return cla;
@@ -500,28 +508,25 @@ void ClaMatrix::SerializeInto(ByteWriter* writer) const {
   writer->PutVarint(cols_);
   writer->PutVarint(groups_.size());
   for (const Group& group : groups_) {
-    writer->PutVector(group.columns);
+    writer->PutArray(group.columns);
     writer->Put<u8>(static_cast<u8>(group.encoding));
     writer->PutVarint(group.tuple_count);
-    writer->PutVector(group.dictionary);
+    writer->PutArray(group.dictionary);
     switch (group.encoding) {
       case ClaEncoding::kUc:
-        writer->PutVector(group.uc_values);
+        writer->PutArray(group.uc_values);
         break;
       case ClaEncoding::kDdc:
-        writer->PutVector(group.ddc_ids);
+        writer->PutArray(group.ddc_ids);
         break;
       case ClaEncoding::kRle:
-        writer->PutVarint(group.rle_runs.size());
-        for (const Group::Run& run : group.rle_runs) {
-          writer->Put<u32>(run.start);
-          writer->Put<u32>(run.length);
-          writer->Put<u32>(run.tuple);
-        }
+        // Run is three packed u32s, so this emits the same count + triple
+        // stream the per-field loop used to (modulo alignment padding).
+        writer->PutArray(group.rle_runs);
         break;
       case ClaEncoding::kOle:
-        writer->PutVector(group.ole_offsets);
-        writer->PutVector(group.ole_rows);
+        writer->PutArray(group.ole_offsets);
+        writer->PutArray(group.ole_rows);
         break;
     }
   }
@@ -534,7 +539,7 @@ ClaMatrix ClaMatrix::DeserializeFrom(ByteReader* reader) {
   std::size_t group_count = reader->GetVarint();
   for (std::size_t g = 0; g < group_count; ++g) {
     Group group;
-    group.columns = reader->GetVector<u32>();
+    group.columns = reader->GetArray<u32>();
     GCM_CHECK_MSG(!group.columns.empty(),
                   "CLA group " << g << " has no columns");
     for (u32 c : group.columns) {
@@ -547,7 +552,7 @@ ClaMatrix ClaMatrix::DeserializeFrom(ByteReader* reader) {
                                << static_cast<int>(encoding));
     group.encoding = static_cast<ClaEncoding>(encoding);
     group.tuple_count = reader->GetVarint();
-    group.dictionary = reader->GetVector<double>();
+    group.dictionary = reader->GetArray<double>();
     GCM_CHECK_MSG(
         group.dictionary.size() == group.tuple_count * group.columns.size(),
         "CLA group " << g << " dictionary has " << group.dictionary.size()
@@ -555,13 +560,13 @@ ClaMatrix ClaMatrix::DeserializeFrom(ByteReader* reader) {
                      << group.columns.size() << " columns");
     switch (group.encoding) {
       case ClaEncoding::kUc:
-        group.uc_values = reader->GetVector<double>();
+        group.uc_values = reader->GetArray<double>();
         GCM_CHECK_MSG(
             group.uc_values.size() == cla.rows_ * group.columns.size(),
             "CLA UC group " << g << " payload length mismatch");
         break;
       case ClaEncoding::kDdc:
-        group.ddc_ids = reader->GetVector<u32>();
+        group.ddc_ids = reader->GetArray<u32>();
         GCM_CHECK_MSG(group.ddc_ids.size() == cla.rows_,
                       "CLA DDC group " << g << " must have one id per row");
         for (u32 id : group.ddc_ids) {
@@ -571,26 +576,21 @@ ClaMatrix ClaMatrix::DeserializeFrom(ByteReader* reader) {
         }
         break;
       case ClaEncoding::kRle: {
-        std::size_t runs = reader->GetVarint();
-        group.rle_runs.reserve(runs);
-        for (std::size_t i = 0; i < runs; ++i) {
-          Group::Run run;
-          run.start = reader->Get<u32>();
-          run.length = reader->Get<u32>();
-          run.tuple = reader->Get<u32>();
+        group.rle_runs = reader->GetArray<Group::Run>();
+        for (std::size_t i = 0; i < group.rle_runs.size(); ++i) {
+          const Group::Run& run = group.rle_runs[i];
           GCM_CHECK_MSG(run.tuple < group.tuple_count &&
                             run.length > 0 &&
                             static_cast<u64>(run.start) + run.length <=
                                 cla.rows_,
                         "CLA RLE group " << g << " run " << i
                                          << " out of range");
-          group.rle_runs.push_back(run);
         }
         break;
       }
       case ClaEncoding::kOle:
-        group.ole_offsets = reader->GetVector<u32>();
-        group.ole_rows = reader->GetVector<u32>();
+        group.ole_offsets = reader->GetArray<u32>();
+        group.ole_rows = reader->GetArray<u32>();
         GCM_CHECK_MSG(group.ole_offsets.size() == group.tuple_count + 1,
                       "CLA OLE group " << g
                                        << " must have tuples+1 offsets");

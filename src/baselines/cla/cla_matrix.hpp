@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "matrix/dense_matrix.hpp"
+#include "util/array_ref.hpp"
 #include "util/common.hpp"
 #include "util/thread_pool.hpp"
 
@@ -69,7 +70,7 @@ class ClaMatrix {
   ClaEncoding group_encoding(std::size_t g) const {
     return groups_[g].encoding;
   }
-  const std::vector<u32>& group_columns(std::size_t g) const {
+  const ArrayRef<u32>& group_columns(std::size_t g) const {
     return groups_[g].columns;
   }
 
@@ -100,29 +101,33 @@ class ClaMatrix {
   static ClaMatrix DeserializeFrom(ByteReader* reader);
 
  private:
+  // Group payload arrays are ArrayRefs so a snapshot loaded from a mapping
+  // borrows them in place (see util/array_ref.hpp); Compress builds local
+  // vectors and moves them in.
   struct Group {
-    std::vector<u32> columns;
+    ArrayRef<u32> columns;
     ClaEncoding encoding = ClaEncoding::kUc;
     // Dictionary of distinct non-zero tuples, row-major
     // (tuple t occupies values[t*g .. t*g+g)). Unused for UC.
-    std::vector<double> dictionary;
+    ArrayRef<double> dictionary;
     std::size_t tuple_count = 0;
 
     // DDC: one id per row; id == tuple_count means the all-zero tuple.
-    std::vector<u32> ddc_ids;
-    // RLE: runs of equal non-zero tuples.
+    ArrayRef<u32> ddc_ids;
+    // RLE: runs of equal non-zero tuples. The flat triple layout is what
+    // the snapshot stores, so runs deserialize as one borrowable array.
     struct Run {
       u32 start;
       u32 length;
       u32 tuple;
     };
-    std::vector<Run> rle_runs;
+    ArrayRef<Run> rle_runs;
     // OLE: concatenated row lists per tuple; ole_offsets[t] .. [t+1] index
     // into ole_rows.
-    std::vector<u32> ole_offsets;
-    std::vector<u32> ole_rows;
+    ArrayRef<u32> ole_offsets;
+    ArrayRef<u32> ole_rows;
     // UC: dense column-major payload (g columns * rows).
-    std::vector<double> uc_values;
+    ArrayRef<double> uc_values;
 
     u64 SizeInBytes() const;
   };

@@ -179,7 +179,10 @@ class KernelAdapter final : public IMatrixKernel {
   }
 
   void SaveSections(SnapshotWriter* out) const override {
-    matrix_->SerializeInto(&out->BeginSection(PayloadSectionName<M>()));
+    // Payload sections are cache-line aligned in the file so a mapped
+    // reader can borrow naturally-aligned arrays out of them.
+    matrix_->SerializeInto(
+        &out->BeginSection(PayloadSectionName<M>(), kPayloadSectionAlignment));
   }
 
  private:
@@ -716,10 +719,11 @@ namespace {
 
 /// Shared load path; `origin_path` is "" when the snapshot arrived as a
 /// byte buffer (the sharded family needs the path to find sibling shard
-/// files).
-AnyMatrix LoadSnapshotImpl(std::vector<u8> bytes,
+/// files). The reader's backing (heap buffer or file mapping) is attached
+/// to the returned handle, so deserializers are free to borrow from it.
+AnyMatrix LoadSnapshotImpl(SnapshotReader in,
                            const std::string& origin_path) {
-  SnapshotReader in(std::move(bytes));
+  in.EnableZeroCopy();
   MatrixSpec spec = MatrixSpec::Parse(in.spec());
   const SpecFamily& family = ValidateSpec(spec);
   if (family.load == nullptr) {
@@ -748,18 +752,40 @@ AnyMatrix LoadSnapshotImpl(std::vector<u8> bytes,
                                          << " matrix but the meta section "
                                             "declares "
                                          << meta_rows << "x" << meta_cols);
-  return loaded;
+  return AnyMatrix::WithKeepalive(std::move(loaded), in.backing());
 }
 
 }  // namespace
 
+AnyMatrix AnyMatrix::WithKeepalive(AnyMatrix m,
+                                   std::shared_ptr<const void> backing) {
+  if (backing == nullptr || !m.valid()) return m;
+  struct Keepalive {
+    std::shared_ptr<const IMatrixKernel> kernel;
+    std::shared_ptr<const void> backing;
+  };
+  auto holder = std::make_shared<Keepalive>(
+      Keepalive{std::move(m.kernel_), std::move(backing)});
+  // Aliasing constructor: the handle points at the kernel but owns the
+  // {kernel, backing} pair, so the mapping outlives every borrow in it.
+  return AnyMatrix(
+      std::shared_ptr<const IMatrixKernel>(holder, holder->kernel.get()));
+}
+
 AnyMatrix AnyMatrix::LoadSnapshotBytes(std::vector<u8> bytes) {
-  return LoadSnapshotImpl(std::move(bytes), "");
+  return LoadSnapshotImpl(SnapshotReader(std::move(bytes)), "");
+}
+
+AnyMatrix AnyMatrix::LoadSnapshot(SnapshotReader in,
+                                  const std::string& origin_path) {
+  return LoadSnapshotImpl(std::move(in), origin_path);
 }
 
 AnyMatrix AnyMatrix::Load(const std::string& path) {
   try {
-    return LoadSnapshotImpl(ReadFileBytes(path), path);
+    // FromFile maps the file when it can: payload arrays are borrowed
+    // straight from the mapping and pages fault in on first touch.
+    return LoadSnapshotImpl(SnapshotReader::FromFile(path), path);
   } catch (const Error& e) {
     throw Error(path + ": " + e.what());
   } catch (const std::invalid_argument& e) {

@@ -161,6 +161,14 @@ class AnyMatrix {
   explicit AnyMatrix(std::shared_ptr<const IMatrixKernel> kernel)
       : kernel_(std::move(kernel)) {}
 
+  /// Returns a matrix sharing `m`'s kernel that additionally retains
+  /// `backing` for the kernel's lifetime. This is how zero-copy loads stay
+  /// safe: a kernel deserialized with borrowed views over a mapped
+  /// snapshot travels together with the mapping that backs it, so every
+  /// copy of the handle keeps the bytes alive.
+  static AnyMatrix WithKeepalive(AnyMatrix m,
+                                 std::shared_ptr<const void> backing);
+
   /// Builds a backend from `dense` according to a spec string / parsed
   /// spec. Unknown families, variants or keys throw std::invalid_argument
   /// listing every registered spec. A BuildContext pool parallelizes the
@@ -224,6 +232,16 @@ class AnyMatrix {
   std::vector<u8> SaveSnapshotBytes() const;
   static AnyMatrix Load(const std::string& path);
   static AnyMatrix LoadSnapshotBytes(std::vector<u8> bytes);
+
+  /// Loads from an already-parsed container -- the entry for callers that
+  /// must inspect or checksum the raw bytes before deserializing (the
+  /// sharded serving layer CRC-gates shard files against their manifest,
+  /// then hands the reader here so a mapped file is borrowed, not
+  /// re-read). The reader's backing travels with the returned handle;
+  /// `origin_path` resolves store-manifest sibling files ("" when the
+  /// bytes did not come from a file).
+  static AnyMatrix LoadSnapshot(SnapshotReader in,
+                                const std::string& origin_path = "");
 
   bool valid() const { return kernel_ != nullptr; }
 

@@ -62,12 +62,14 @@ BlockedGcMatrix BlockedGcMatrix::FromCsrv(const CsrvMatrix& csrv,
   BlockedGcMatrix out;
   out.rows_ = csrv.rows();
   out.cols_ = csrv.cols();
-  auto dict = std::make_shared<const std::vector<double>>(csrv.dictionary());
+  auto dict =
+      std::make_shared<const std::vector<double>>(csrv.dictionary().ToVector());
   std::vector<CsrvMatrix> parts = csrv.SplitRowBlocks(blocks);
   std::vector<std::optional<GcMatrix>> built(parts.size());
   MaybeParallelFor(ctx.pool, parts.size(), [&](std::size_t b) {
-    built[b] = GcMatrix::FromSequence(parts[b].sequence(), parts[b].rows(),
-                                      csrv.cols(), dict, options);
+    built[b] = GcMatrix::FromSequence(parts[b].sequence().ToVector(),
+                                      parts[b].rows(), csrv.cols(), dict,
+                                      options);
   });
   std::size_t row_begin = 0;
   for (std::size_t b = 0; b < parts.size(); ++b) {

@@ -50,8 +50,8 @@ GcMatrix GcMatrix::FromSequence(std::vector<u32> sequence, std::size_t rows,
   if (options.format == GcFormat::kCsrv) {
     m.c_length_ = sequence.size();
     m.rule_count_ = 0;
+    sequence.shrink_to_fit();  // stored long-term; drop growth slack
     m.c_plain_ = std::move(sequence);
-    m.c_plain_.shrink_to_fit();  // stored long-term; drop growth slack
     return m;
   }
 
@@ -81,8 +81,8 @@ GcMatrix GcMatrix::FromSequence(std::vector<u32> sequence, std::size_t rows,
 
   switch (options.format) {
     case GcFormat::kRe32:
+      compressed.final_sequence.shrink_to_fit();  // drop growth slack
       m.c_plain_ = std::move(compressed.final_sequence);
-      m.c_plain_.shrink_to_fit();  // stored long-term; drop growth slack
       m.r_plain_ = std::move(flat_rules);
       break;
     case GcFormat::kReIv: {
@@ -113,8 +113,9 @@ GcMatrix GcMatrix::FromSequence(std::vector<u32> sequence, std::size_t rows,
 
 GcMatrix GcMatrix::FromCsrv(const CsrvMatrix& csrv,
                             const GcBuildOptions& options) {
-  auto dict = std::make_shared<const std::vector<double>>(csrv.dictionary());
-  return FromSequence(csrv.sequence(), csrv.rows(), csrv.cols(),
+  auto dict =
+      std::make_shared<const std::vector<double>>(csrv.dictionary().ToVector());
+  return FromSequence(csrv.sequence().ToVector(), csrv.rows(), csrv.cols(),
                       std::move(dict), options);
 }
 
@@ -847,19 +848,19 @@ void GcMatrix::Serialize(ByteWriter* writer) const {
   switch (format_) {
     case GcFormat::kCsrv:
     case GcFormat::kRe32:
-      writer->PutVector(c_plain_);
-      writer->PutVector(r_plain_);
+      writer->PutArray(c_plain_);
+      writer->PutArray(r_plain_);
       break;
     case GcFormat::kReIv:
       writer->Put<u8>(static_cast<u8>(c_packed_.width()));
-      writer->PutVector(c_packed_.words());
+      writer->PutArray(c_packed_.words());
       writer->Put<u8>(static_cast<u8>(r_packed_.width()));
-      writer->PutVector(r_packed_.words());
+      writer->PutArray(r_packed_.words());
       break;
     case GcFormat::kReAns:
       c_ans_.Serialize(writer);
       writer->Put<u8>(static_cast<u8>(r_packed_.width()));
-      writer->PutVector(r_packed_.words());
+      writer->PutArray(r_packed_.words());
       break;
   }
 }
@@ -894,8 +895,8 @@ GcMatrix GcMatrix::Deserialize(ByteReader* reader, SharedDict dict) {
   switch (m.format_) {
     case GcFormat::kCsrv:
     case GcFormat::kRe32: {
-      m.c_plain_ = reader->GetVector<u32>();
-      m.r_plain_ = reader->GetVector<u32>();
+      m.c_plain_ = reader->GetArray<u32>();
+      m.r_plain_ = reader->GetArray<u32>();
       GCM_CHECK_MSG(m.c_plain_.size() == m.c_length_ &&
                         m.r_plain_.size() == 2 * m.rule_count_,
                     "corrupt GcMatrix: payload length mismatch");
@@ -903,10 +904,10 @@ GcMatrix GcMatrix::Deserialize(ByteReader* reader, SharedDict dict) {
     }
     case GcFormat::kReIv: {
       u8 c_width = reader->Get<u8>();
-      m.c_packed_.RestoreFrom(m.c_length_, c_width, reader->GetVector<u64>());
+      m.c_packed_.RestoreFrom(m.c_length_, c_width, reader->GetArray<u64>());
       u8 r_width = reader->Get<u8>();
       m.r_packed_.RestoreFrom(2 * m.rule_count_, r_width,
-                              reader->GetVector<u64>());
+                              reader->GetArray<u64>());
       break;
     }
     case GcFormat::kReAns: {
@@ -915,7 +916,7 @@ GcMatrix GcMatrix::Deserialize(ByteReader* reader, SharedDict dict) {
                     "corrupt GcMatrix: ANS payload length mismatch");
       u8 r_width = reader->Get<u8>();
       m.r_packed_.RestoreFrom(2 * m.rule_count_, r_width,
-                              reader->GetVector<u64>());
+                              reader->GetArray<u64>());
       break;
     }
   }

@@ -32,6 +32,7 @@
 #include "grammar/repair.hpp"
 #include "matrix/csrv.hpp"
 #include "matrix/sparse_builder.hpp"
+#include "util/array_ref.hpp"
 #include "util/common.hpp"
 
 namespace gcm {
@@ -249,11 +250,12 @@ class GcMatrix {
   std::size_t rule_count_ = 0;
 
   // Exactly one C representation and one R representation is populated,
-  // selected by format_.
-  std::vector<u32> c_plain_;   // kCsrv, kRe32
+  // selected by format_. The plain arrays are ArrayRefs so a snapshot
+  // loaded from a mapping borrows them in place (see util/array_ref.hpp).
+  ArrayRef<u32> c_plain_;      // kCsrv, kRe32
   IntVector c_packed_;         // kReIv
   RansStream c_ans_;           // kReAns
-  std::vector<u32> r_plain_;   // kRe32 (flattened pairs)
+  ArrayRef<u32> r_plain_;      // kRe32 (flattened pairs)
   IntVector r_packed_;         // kReIv, kReAns
 
   // Hot-rule expansion cache (see ConfigureRuleCache). shared_ptr so

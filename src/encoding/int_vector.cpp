@@ -27,7 +27,7 @@ std::vector<u64> IntVector::ToVector() const {
 }
 
 void IntVector::RestoreFrom(std::size_t size, u32 width,
-                            std::vector<u64> words) {
+                            ArrayRef<u64> words) {
   GCM_CHECK_MSG(width >= 1 && width <= 64, "invalid IntVector width");
   GCM_CHECK_MSG(words.size() == CeilDiv(static_cast<u64>(size) * width, 64),
                 "IntVector word payload does not match size/width");

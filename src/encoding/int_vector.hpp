@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "encoding/bit_ops.hpp"
+#include "util/array_ref.hpp"
 #include "util/check.hpp"
 #include "util/common.hpp"
 
@@ -42,12 +43,12 @@ class IntVector {
 
   void Resize(std::size_t size) {
     size_ = size;
-    words_.assign(CeilDiv(static_cast<u64>(size) * width_, 64) , 0);
+    words_ = std::vector<u64>(CeilDiv(static_cast<u64>(size) * width_, 64), 0);
   }
 
   void Clear() {
     size_ = 0;
-    words_.clear();
+    words_ = ArrayRef<u64>();
   }
 
   /// Reads entry i. Bounds-checked in debug/sanitizer builds only (hot
@@ -67,23 +68,25 @@ class IntVector {
     return value & LowMask(width_);
   }
 
-  /// Writes entry i. `value` must fit in width() bits.
+  /// Writes entry i. `value` must fit in width() bits. Materializes owned
+  /// storage when the payload is a borrowed snapshot view.
   void Set(std::size_t i, u64 value) {
     GCM_DCHECK_BOUNDS(i, size_);
     GCM_DCHECK_MSG((value & ~LowMask(width_)) == 0,
                    "value " << value << " does not fit in " << width_
                             << " bits");
+    u64* words = words_.EnsureOwned();
     u64 bit = static_cast<u64>(i) * width_;
     std::size_t word = bit >> 6;
     u32 offset = bit & 63;
     GCM_DCHECK_BOUNDS(word, words_.size());
-    words_[word] =
-        (words_[word] & ~(LowMask(width_) << offset)) | (value << offset);
+    words[word] =
+        (words[word] & ~(LowMask(width_) << offset)) | (value << offset);
     if (offset + width_ > 64) {
       GCM_DCHECK_BOUNDS(word + 1, words_.size());
       u32 spill = offset + width_ - 64;
-      words_[word + 1] =
-          (words_[word + 1] & ~LowMask(spill)) | (value >> (64 - offset));
+      words[word + 1] =
+          (words[word + 1] & ~LowMask(spill)) | (value >> (64 - offset));
     }
   }
 
@@ -100,15 +103,15 @@ class IntVector {
     return true;
   }
 
-  /// Raw word storage, for serialization.
-  const std::vector<u64>& words() const { return words_; }
-  std::vector<u64>& mutable_words() { return words_; }
-  void RestoreFrom(std::size_t size, u32 width, std::vector<u64> words);
+  /// Raw word storage, for serialization. Borrowed (a view over a mapped
+  /// snapshot) when restored through a zero-copy load, owned otherwise.
+  const ArrayRef<u64>& words() const { return words_; }
+  void RestoreFrom(std::size_t size, u32 width, ArrayRef<u64> words);
 
  private:
   u32 width_;
   std::size_t size_ = 0;
-  std::vector<u64> words_;
+  ArrayRef<u64> words_;
 };
 
 }  // namespace gcm

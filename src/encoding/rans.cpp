@@ -130,7 +130,7 @@ void RansStream::Serialize(ByteWriter* writer) const {
     writer->PutVarint(s);
     writer->PutVarint(freqs[s]);
   }
-  writer->PutVector(chunks);
+  writer->PutArray(chunks);
 }
 
 RansStream RansStream::Deserialize(ByteReader* reader) {
@@ -155,7 +155,7 @@ RansStream RansStream::Deserialize(ByteReader* reader) {
   }
   GCM_CHECK_MSG(stream.symbol_count == 0 || sum == kScale,
                 "corrupt rANS header: frequencies sum to " << sum);
-  stream.chunks = reader->GetVector<u32>();
+  stream.chunks = reader->GetArray<u32>();
   return stream;
 }
 

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "encoding/byte_stream.hpp"
+#include "util/array_ref.hpp"
 #include "util/common.hpp"
 
 namespace gcm {
@@ -32,7 +33,10 @@ struct RansStream {
   u32 fold_bits = 12;           ///< Symbols < 2^fold_bits get literal slots.
   u64 symbol_count = 0;         ///< Number of symbols encoded.
   std::vector<u16> freqs;       ///< Normalized slot frequencies (sum 2^14).
-  std::vector<u32> chunks;      ///< 32-bit payload, in decode order.
+  /// 32-bit payload, in decode order. The bulk of the stream: borrowed
+  /// from the mapping on zero-copy loads (the sparse freqs model is
+  /// re-materialized either way).
+  ArrayRef<u32> chunks;
 
   /// Total bytes attributable to this stream (payload + model header),
   /// i.e. what counts as "compressed size" in the experiments.

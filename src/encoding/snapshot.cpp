@@ -4,8 +4,15 @@
 #include <filesystem>
 #include <fstream>
 
+#include "util/mapped_file.hpp"
+
 namespace gcm {
 namespace {
+
+bool IsValidSectionAlignment(std::size_t alignment) {
+  return alignment > 0 && alignment <= 64 &&
+         (alignment & (alignment - 1)) == 0;
+}
 
 std::array<u32, 256> BuildCrcTable() {
   std::array<u32, 256> table{};
@@ -56,6 +63,19 @@ void WriteFileBytes(const std::string& path, const std::vector<u8>& bytes) {
   GCM_CHECK_MSG(out.good(), "short write on file: " << path);
 }
 
+std::vector<u8> ReadFileHeader(const std::string& path) {
+  std::error_code ec;
+  GCM_CHECK_MSG(!std::filesystem::is_directory(path, ec),
+                path << " is a directory, not a file");
+  std::ifstream in(path, std::ios::binary);
+  GCM_CHECK_MSG(in.good(), "cannot open file: " << path);
+  std::vector<u8> header(16);
+  in.read(reinterpret_cast<char*>(header.data()),
+          static_cast<std::streamsize>(header.size()));
+  header.resize(static_cast<std::size_t>(in.gcount()));
+  return header;
+}
+
 // ---------------------------------------------------------------------------
 // SnapshotWriter
 // ---------------------------------------------------------------------------
@@ -64,25 +84,41 @@ SnapshotWriter::SnapshotWriter(std::string spec) : spec_(std::move(spec)) {
   GCM_CHECK_MSG(!spec_.empty(), "snapshot spec string must not be empty");
 }
 
-ByteWriter& SnapshotWriter::BeginSection(const std::string& name) {
+ByteWriter& SnapshotWriter::BeginSection(const std::string& name,
+                                         std::size_t alignment) {
   GCM_CHECK_MSG(!name.empty(), "snapshot section name must not be empty");
-  for (const auto& [existing, writer] : sections_) {
-    GCM_CHECK_MSG(existing != name,
+  GCM_CHECK_MSG(IsValidSectionAlignment(alignment),
+                "snapshot section alignment " << alignment
+                                              << " is not a power of two <= 64");
+  for (const PendingSection& section : sections_) {
+    GCM_CHECK_MSG(section.name != name,
                   "duplicate snapshot section \"" << name << "\"");
   }
-  sections_.emplace_back(name, ByteWriter());
-  return sections_.back().second;
+  sections_.push_back({name, alignment, ByteWriter()});
+  // Array payloads inside the section follow the v2 aligned layout (the
+  // section itself is placed at an aligned file offset below, so
+  // section-relative alignment carries through to the file).
+  sections_.back().writer.EnableAlignedArrays();
+  return sections_.back().writer;
 }
 
 std::vector<u8> SnapshotWriter::Finish() const {
-  // Body = everything covered by the checksum (spec + section table).
+  // Body = everything covered by the checksum (spec + section table,
+  // padding included). Section payloads land at file offsets that are
+  // multiples of their declared alignment; the body starts at file offset
+  // 12 (after magic/version/crc).
+  constexpr std::size_t kHeaderBytes = 12;
   ByteWriter body;
   body.PutString(spec_);
   body.PutVarint(sections_.size());
-  for (const auto& [name, writer] : sections_) {
-    body.PutString(name);
-    body.PutVarint(writer.size());
-    body.PutBytes(writer.buffer().data(), writer.size());
+  for (const PendingSection& section : sections_) {
+    body.PutString(section.name);
+    body.Put<u8>(static_cast<u8>(section.alignment));
+    body.PutVarint(section.writer.size());
+    while ((kHeaderBytes + body.size()) % section.alignment != 0) {
+      body.Put<u8>(0);
+    }
+    body.PutBytes(section.writer.buffer().data(), section.writer.size());
   }
   ByteWriter out;
   out.Put<u32>(kSnapshotMagic);
@@ -100,19 +136,46 @@ void SnapshotWriter::WriteFile(const std::string& path) const {
 // SnapshotReader
 // ---------------------------------------------------------------------------
 
-SnapshotReader::SnapshotReader(std::vector<u8> bytes)
-    : bytes_(std::move(bytes)) {
+SnapshotReader::SnapshotReader(std::vector<u8> bytes) {
+  auto owned = std::make_shared<std::vector<u8>>(std::move(bytes));
+  bytes_ = {owned->data(), owned->size()};
+  backing_ = std::move(owned);
+  Parse();
+}
+
+SnapshotReader SnapshotReader::FromFile(const std::string& path) {
+  if (std::shared_ptr<MappedFile> map = MappedFile::TryMap(path)) {
+    SnapshotReader reader;
+    reader.bytes_ = map->bytes();
+    reader.backing_ = map;
+    reader.mapped_file_ = std::move(map);
+    reader.Parse();
+    return reader;
+  }
+  return SnapshotReader(ReadFileBytes(path));
+}
+
+SnapshotReader SnapshotReader::FromSpan(std::span<const u8> bytes,
+                                        std::shared_ptr<const void> backing) {
+  SnapshotReader reader;
+  reader.bytes_ = bytes;
+  reader.backing_ = std::move(backing);
+  reader.Parse();
+  return reader;
+}
+
+void SnapshotReader::Parse() {
   GCM_CHECK_MSG(bytes_.size() >= 12,
                 "not a gcm snapshot: " << bytes_.size()
                                        << " bytes is shorter than the header");
-  ByteReader reader(bytes_);
+  ByteReader reader(bytes_.data(), bytes_.size());
   GCM_CHECK_MSG(reader.Get<u32>() == kSnapshotMagic,
                 "not a gcm snapshot (bad magic)");
-  u32 version = reader.Get<u32>();
-  GCM_CHECK_MSG(version == kSnapshotVersion,
-                "unsupported snapshot version " << version
-                                                << " (this build reads version "
-                                                << kSnapshotVersion << ")");
+  version_ = reader.Get<u32>();
+  GCM_CHECK_MSG(version_ >= kMinSnapshotVersion && version_ <= kSnapshotVersion,
+                "unsupported snapshot version "
+                    << version_ << " (this build reads versions "
+                    << kMinSnapshotVersion << ".." << kSnapshotVersion << ")");
   u32 stored_crc = reader.Get<u32>();
   u32 actual_crc = Crc32(bytes_.data() + 12, bytes_.size() - 12);
   GCM_CHECK_MSG(stored_crc == actual_crc,
@@ -131,7 +194,30 @@ SnapshotReader::SnapshotReader(std::vector<u8> bytes)
   for (u64 i = 0; i < count; ++i) {
     Section section;
     section.name = reader.GetString();
+    std::size_t alignment = 1;
+    if (version_ >= 2) {
+      alignment = reader.Get<u8>();
+      GCM_CHECK_MSG(IsValidSectionAlignment(alignment),
+                    "snapshot section \"" << section.name
+                                          << "\" declares alignment "
+                                          << alignment
+                                          << " (not a power of two <= 64)");
+    }
     u64 length = reader.GetVarint();
+    if (version_ >= 2) {
+      // Skip (and verify) the padding that places the payload at the
+      // declared alignment; nonzero pad bytes are corruption by name even
+      // though the checksum already vouched for them.
+      while (reader.pos() % alignment != 0) {
+        GCM_CHECK_MSG(reader.Remaining() > 0,
+                      "snapshot section \"" << section.name
+                                            << "\" truncated inside its "
+                                               "alignment padding");
+        GCM_CHECK_MSG(reader.Get<u8>() == 0,
+                      "snapshot section \"" << section.name
+                                            << "\" has nonzero padding");
+      }
+    }
     GCM_CHECK_MSG(length <= reader.Remaining(),
                   "snapshot section \"" << section.name << "\" truncated: "
                                         << length << " bytes declared, "
@@ -143,10 +229,6 @@ SnapshotReader::SnapshotReader(std::vector<u8> bytes)
   }
   GCM_CHECK_MSG(reader.AtEnd(), "trailing bytes after the last snapshot "
                                 "section");
-}
-
-SnapshotReader SnapshotReader::FromFile(const std::string& path) {
-  return SnapshotReader(ReadFileBytes(path));
 }
 
 std::vector<std::string> SnapshotReader::SectionNames() const {
@@ -175,9 +257,18 @@ std::size_t SnapshotReader::SectionBytes(const std::string& name) const {
   return Find(name).length;
 }
 
+std::span<const u8> SnapshotReader::SectionSpan(
+    const std::string& name) const {
+  const Section& section = Find(name);
+  return bytes_.subspan(section.offset, section.length);
+}
+
 ByteReader SnapshotReader::OpenSection(const std::string& name) const {
   const Section& section = Find(name);
-  return ByteReader(bytes_.data() + section.offset, section.length);
+  ByteReader reader(bytes_.data() + section.offset, section.length);
+  if (version_ >= 2) reader.EnableAlignedLayout();
+  if (zero_copy_) reader.EnableBorrowing();
+  return reader;
 }
 
 }  // namespace gcm

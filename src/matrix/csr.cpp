@@ -23,23 +23,29 @@ CsrMatrix CsrMatrix::FromDense(const DenseMatrix& dense) {
   CsrMatrix csr;
   csr.rows_ = dense.rows();
   csr.cols_ = dense.cols();
-  csr.first_.reserve(dense.rows() + 1);
-  csr.first_.push_back(0);
+  std::vector<double> nz;
+  std::vector<u32> idx;
+  std::vector<u32> first;
+  first.reserve(dense.rows() + 1);
+  first.push_back(0);
   for (std::size_t r = 0; r < dense.rows(); ++r) {
     for (std::size_t c = 0; c < dense.cols(); ++c) {
       double v = dense.At(r, c);
       if (v == 0.0) continue;
-      csr.nz_.push_back(v);
-      csr.idx_.push_back(static_cast<u32>(c));
+      nz.push_back(v);
+      idx.push_back(static_cast<u32>(c));
     }
-    csr.first_.push_back(static_cast<u32>(csr.nz_.size()));
+    first.push_back(static_cast<u32>(nz.size()));
   }
+  csr.nz_ = std::move(nz);
+  csr.idx_ = std::move(idx);
+  csr.first_ = std::move(first);
   return csr;
 }
 
 CsrMatrix CsrMatrix::FromParts(std::size_t rows, std::size_t cols,
-                               std::vector<double> nz, std::vector<u32> idx,
-                               std::vector<u32> first) {
+                               ArrayRef<double> nz, ArrayRef<u32> idx,
+                               ArrayRef<u32> first) {
   GCM_CHECK_MSG(first.size() == rows + 1, "CSR offsets must have rows+1");
   GCM_CHECK_MSG(first.front() == 0 && first.back() == nz.size(),
                 "CSR offsets must span the value array");
@@ -123,21 +129,26 @@ CsrIvMatrix CsrIvMatrix::FromDense(const DenseMatrix& dense) {
   CsrIvMatrix csr;
   csr.rows_ = dense.rows();
   csr.cols_ = dense.cols();
-  csr.dictionary_ = BuildValueDictionary(dense);
-  csr.first_.reserve(dense.rows() + 1);
-  csr.first_.push_back(0);
+  std::vector<double> dictionary = BuildValueDictionary(dense);
+  std::vector<u32> value_ids;
+  std::vector<u32> idx;
+  std::vector<u32> first;
+  first.reserve(dense.rows() + 1);
+  first.push_back(0);
   for (std::size_t r = 0; r < dense.rows(); ++r) {
     for (std::size_t c = 0; c < dense.cols(); ++c) {
       double v = dense.At(r, c);
       if (v == 0.0) continue;
-      auto it = std::lower_bound(csr.dictionary_.begin(),
-                                 csr.dictionary_.end(), v);
-      csr.value_ids_.push_back(
-          static_cast<u32>(it - csr.dictionary_.begin()));
-      csr.idx_.push_back(static_cast<u32>(c));
+      auto it = std::lower_bound(dictionary.begin(), dictionary.end(), v);
+      value_ids.push_back(static_cast<u32>(it - dictionary.begin()));
+      idx.push_back(static_cast<u32>(c));
     }
-    csr.first_.push_back(static_cast<u32>(csr.value_ids_.size()));
+    first.push_back(static_cast<u32>(value_ids.size()));
   }
+  csr.dictionary_ = std::move(dictionary);
+  csr.value_ids_ = std::move(value_ids);
+  csr.idx_ = std::move(idx);
+  csr.first_ = std::move(first);
   return csr;
 }
 
@@ -201,10 +212,10 @@ DenseMatrix CsrIvMatrix::ToDense() const {
 }
 
 CsrIvMatrix CsrIvMatrix::FromParts(std::size_t rows, std::size_t cols,
-                                   std::vector<u32> value_ids,
-                                   std::vector<u32> idx,
-                                   std::vector<u32> first,
-                                   std::vector<double> dictionary) {
+                                   ArrayRef<u32> value_ids,
+                                   ArrayRef<u32> idx,
+                                   ArrayRef<u32> first,
+                                   ArrayRef<double> dictionary) {
   GCM_CHECK_MSG(first.size() == rows + 1, "CSR-IV offsets must have rows+1");
   GCM_CHECK_MSG(first.front() == 0 && first.back() == value_ids.size(),
                 "CSR-IV offsets must span the value-id array");
@@ -235,17 +246,17 @@ CsrIvMatrix CsrIvMatrix::FromParts(std::size_t rows, std::size_t cols,
 void CsrMatrix::SerializeInto(ByteWriter* writer) const {
   writer->PutVarint(rows_);
   writer->PutVarint(cols_);
-  writer->PutVector(nz_);
-  writer->PutVector(idx_);
-  writer->PutVector(first_);
+  writer->PutArray(nz_);
+  writer->PutArray(idx_);
+  writer->PutArray(first_);
 }
 
 CsrMatrix CsrMatrix::DeserializeFrom(ByteReader* reader) {
   std::size_t rows = reader->GetVarint();
   std::size_t cols = reader->GetVarint();
-  std::vector<double> nz = reader->GetVector<double>();
-  std::vector<u32> idx = reader->GetVector<u32>();
-  std::vector<u32> first = reader->GetVector<u32>();
+  ArrayRef<double> nz = reader->GetArray<double>();
+  ArrayRef<u32> idx = reader->GetArray<u32>();
+  ArrayRef<u32> first = reader->GetArray<u32>();
   return FromParts(rows, cols, std::move(nz), std::move(idx),
                    std::move(first));
 }
@@ -253,19 +264,19 @@ CsrMatrix CsrMatrix::DeserializeFrom(ByteReader* reader) {
 void CsrIvMatrix::SerializeInto(ByteWriter* writer) const {
   writer->PutVarint(rows_);
   writer->PutVarint(cols_);
-  writer->PutVector(value_ids_);
-  writer->PutVector(idx_);
-  writer->PutVector(first_);
-  writer->PutVector(dictionary_);
+  writer->PutArray(value_ids_);
+  writer->PutArray(idx_);
+  writer->PutArray(first_);
+  writer->PutArray(dictionary_);
 }
 
 CsrIvMatrix CsrIvMatrix::DeserializeFrom(ByteReader* reader) {
   std::size_t rows = reader->GetVarint();
   std::size_t cols = reader->GetVarint();
-  std::vector<u32> value_ids = reader->GetVector<u32>();
-  std::vector<u32> idx = reader->GetVector<u32>();
-  std::vector<u32> first = reader->GetVector<u32>();
-  std::vector<double> dictionary = reader->GetVector<double>();
+  ArrayRef<u32> value_ids = reader->GetArray<u32>();
+  ArrayRef<u32> idx = reader->GetArray<u32>();
+  ArrayRef<u32> first = reader->GetArray<u32>();
+  ArrayRef<double> dictionary = reader->GetArray<double>();
   return FromParts(rows, cols, std::move(value_ids), std::move(idx),
                    std::move(first), std::move(dictionary));
 }

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "matrix/dense_matrix.hpp"
+#include "util/array_ref.hpp"
 #include "util/common.hpp"
 
 namespace gcm {
@@ -21,11 +22,12 @@ class CsrMatrix {
  public:
   static CsrMatrix FromDense(const DenseMatrix& dense);
 
-  /// Assembles from prebuilt arrays (sparse ingestion); first must have
-  /// rows+1 monotone offsets ending at nz.size().
+  /// Assembles from prebuilt arrays (sparse ingestion or zero-copy
+  /// deserialization); first must have rows+1 monotone offsets ending at
+  /// nz.size().
   static CsrMatrix FromParts(std::size_t rows, std::size_t cols,
-                             std::vector<double> nz, std::vector<u32> idx,
-                             std::vector<u32> first);
+                             ArrayRef<double> nz, ArrayRef<u32> idx,
+                             ArrayRef<u32> first);
 
   std::size_t rows() const { return rows_; }
   std::size_t cols() const { return cols_; }
@@ -48,9 +50,9 @@ class CsrMatrix {
            first_.size() * sizeof(u32);
   }
 
-  const std::vector<double>& nz() const { return nz_; }
-  const std::vector<u32>& idx() const { return idx_; }
-  const std::vector<u32>& first() const { return first_; }
+  const ArrayRef<double>& nz() const { return nz_; }
+  const ArrayRef<u32>& idx() const { return idx_; }
+  const ArrayRef<u32>& first() const { return first_; }
 
   /// Snapshot payload: dims + the three CSR arrays. DeserializeFrom routes
   /// through FromParts, so a corrupt payload fails its structural checks.
@@ -60,9 +62,9 @@ class CsrMatrix {
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
-  std::vector<double> nz_;
-  std::vector<u32> idx_;
-  std::vector<u32> first_;
+  ArrayRef<double> nz_;
+  ArrayRef<u32> idx_;
+  ArrayRef<u32> first_;
 };
 
 /// CSR-IV: like CSR but nz holds indices into a dictionary V of distinct
@@ -74,9 +76,9 @@ class CsrIvMatrix {
   /// Assembles from prebuilt arrays (deserialization); validates the same
   /// offset/index invariants as CsrMatrix::FromParts plus value-id range.
   static CsrIvMatrix FromParts(std::size_t rows, std::size_t cols,
-                               std::vector<u32> value_ids,
-                               std::vector<u32> idx, std::vector<u32> first,
-                               std::vector<double> dictionary);
+                               ArrayRef<u32> value_ids,
+                               ArrayRef<u32> idx, ArrayRef<u32> first,
+                               ArrayRef<double> dictionary);
 
   std::size_t rows() const { return rows_; }
   std::size_t cols() const { return cols_; }
@@ -101,10 +103,10 @@ class CsrIvMatrix {
            first_.size() * sizeof(u32) + dictionary_.size() * sizeof(double);
   }
 
-  const std::vector<double>& dictionary() const { return dictionary_; }
-  const std::vector<u32>& value_ids() const { return value_ids_; }
-  const std::vector<u32>& idx() const { return idx_; }
-  const std::vector<u32>& first() const { return first_; }
+  const ArrayRef<double>& dictionary() const { return dictionary_; }
+  const ArrayRef<u32>& value_ids() const { return value_ids_; }
+  const ArrayRef<u32>& idx() const { return idx_; }
+  const ArrayRef<u32>& first() const { return first_; }
 
   /// Snapshot payload: dims + the four CSR-IV arrays, restored via
   /// FromParts.
@@ -114,10 +116,10 @@ class CsrIvMatrix {
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
-  std::vector<u32> value_ids_;
-  std::vector<u32> idx_;
-  std::vector<u32> first_;
-  std::vector<double> dictionary_;
+  ArrayRef<u32> value_ids_;
+  ArrayRef<u32> idx_;
+  ArrayRef<u32> first_;
+  ArrayRef<double> dictionary_;
 };
 
 /// Builds the sorted dictionary of distinct non-zero values of a dense

@@ -54,15 +54,16 @@ CsrvMatrix CsrvMatrix::FromDense(const DenseMatrix& dense,
   CsrvMatrix csrv;
   csrv.rows_ = dense.rows();
   csrv.cols_ = dense.cols();
-  csrv.dictionary_ = BuildValueDictionary(dense);
-  csrv.sequence_ = BuildCsrvSequence(dense, 0, dense.rows(),
-                                     csrv.dictionary_, traversal_order);
+  std::vector<double> dictionary = BuildValueDictionary(dense);
+  csrv.sequence_ = BuildCsrvSequence(dense, 0, dense.rows(), dictionary,
+                                     traversal_order);
+  csrv.dictionary_ = std::move(dictionary);
   return csrv;
 }
 
 CsrvMatrix CsrvMatrix::FromParts(std::size_t rows, std::size_t cols,
-                                 std::vector<double> dictionary,
-                                 std::vector<u32> sequence) {
+                                 ArrayRef<double> dictionary,
+                                 ArrayRef<u32> sequence) {
   CsrvMatrix csrv;
   csrv.rows_ = rows;
   csrv.cols_ = cols;
@@ -192,9 +193,8 @@ std::vector<CsrvMatrix> CsrvMatrix::SplitRowBlocks(std::size_t blocks) const {
     block.dictionary_ = dictionary_;  // shared content; see BlockedGcMatrix
     // Iterator arithmetic takes a signed difference_type; both offsets are
     // bounded by sequence_.size(), so the casts cannot overflow.
-    block.sequence_.assign(
-        sequence_.begin() + static_cast<std::ptrdiff_t>(begin),
-        sequence_.begin() + static_cast<std::ptrdiff_t>(i + 1));
+    block.sequence_ = std::vector<u32>(sequence_.begin() + begin,
+                                       sequence_.begin() + (i + 1));
     out.push_back(std::move(block));
     begin = i + 1;
     rows_in_block = 0;
@@ -205,15 +205,15 @@ std::vector<CsrvMatrix> CsrvMatrix::SplitRowBlocks(std::size_t blocks) const {
 void CsrvMatrix::SerializeInto(ByteWriter* writer) const {
   writer->PutVarint(rows_);
   writer->PutVarint(cols_);
-  writer->PutVector(dictionary_);
-  writer->PutVector(sequence_);
+  writer->PutArray(dictionary_);
+  writer->PutArray(sequence_);
 }
 
 CsrvMatrix CsrvMatrix::DeserializeFrom(ByteReader* reader) {
   std::size_t rows = reader->GetVarint();
   std::size_t cols = reader->GetVarint();
-  std::vector<double> dictionary = reader->GetVector<double>();
-  std::vector<u32> sequence = reader->GetVector<u32>();
+  ArrayRef<double> dictionary = reader->GetArray<double>();
+  ArrayRef<u32> sequence = reader->GetArray<u32>();
   return FromParts(rows, cols, std::move(dictionary), std::move(sequence));
 }
 

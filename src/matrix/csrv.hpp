@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "matrix/dense_matrix.hpp"
+#include "util/array_ref.hpp"
 #include "util/common.hpp"
 
 namespace gcm {
@@ -71,17 +72,18 @@ class CsrvMatrix {
       const DenseMatrix& dense,
       const std::vector<u32>* traversal_order = nullptr);
 
-  /// Assembles directly from parts (deserialization, tests).
+  /// Assembles directly from parts (deserialization, tests). Accepts
+  /// owned vectors or borrowed snapshot views.
   static CsrvMatrix FromParts(std::size_t rows, std::size_t cols,
-                              std::vector<double> dictionary,
-                              std::vector<u32> sequence);
+                              ArrayRef<double> dictionary,
+                              ArrayRef<u32> sequence);
 
   std::size_t rows() const { return rows_; }
   std::size_t cols() const { return cols_; }
   std::size_t nonzeros() const { return sequence_.size() - rows_; }
 
-  const std::vector<u32>& sequence() const { return sequence_; }
-  const std::vector<double>& dictionary() const { return dictionary_; }
+  const ArrayRef<u32>& sequence() const { return sequence_; }
+  const ArrayRef<double>& dictionary() const { return dictionary_; }
 
   /// 4|S| + 8|V| bytes, the paper's `csrv` size.
   u64 SizeInBytes() const {
@@ -120,8 +122,8 @@ class CsrvMatrix {
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
-  std::vector<double> dictionary_;
-  std::vector<u32> sequence_;
+  ArrayRef<double> dictionary_;
+  ArrayRef<u32> sequence_;
 };
 
 }  // namespace gcm

@@ -8,7 +8,7 @@
 namespace gcm {
 
 DenseMatrix::DenseMatrix(std::size_t rows, std::size_t cols,
-                         std::vector<double> data)
+                         ArrayRef<double> data)
     : rows_(rows), cols_(cols), data_(std::move(data)) {
   GCM_CHECK_MSG(data_.size() == rows * cols,
                 "dense payload has " << data_.size() << " entries, expected "
@@ -18,14 +18,14 @@ DenseMatrix::DenseMatrix(std::size_t rows, std::size_t cols,
 void DenseMatrix::SerializeInto(ByteWriter* writer) const {
   writer->PutVarint(rows_);
   writer->PutVarint(cols_);
-  writer->PutVector(data_);
+  writer->PutArray(data_);
 }
 
 DenseMatrix DenseMatrix::DeserializeFrom(ByteReader* reader) {
   std::size_t rows = reader->GetVarint();
   std::size_t cols = reader->GetVarint();
   // The DenseMatrix payload ctor re-validates size == rows*cols.
-  return DenseMatrix(rows, cols, reader->GetVector<double>());
+  return DenseMatrix(rows, cols, reader->GetArray<double>());
 }
 
 std::size_t DenseMatrix::CountNonZeros() const {

@@ -10,6 +10,7 @@
 #include <span>
 #include <vector>
 
+#include "util/array_ref.hpp"
 #include "util/common.hpp"
 #include "util/rng.hpp"
 
@@ -24,11 +25,12 @@ class DenseMatrix {
 
   /// Zero matrix with `rows` x `cols` entries.
   DenseMatrix(std::size_t rows, std::size_t cols)
-      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+      : rows_(rows), cols_(cols),
+        data_(std::vector<double>(rows * cols, 0.0)) {}
 
   /// Builds from a row-major initializer payload; data.size() must equal
-  /// rows*cols.
-  DenseMatrix(std::size_t rows, std::size_t cols, std::vector<double> data);
+  /// rows*cols. Accepts an owned vector or a borrowed snapshot view.
+  DenseMatrix(std::size_t rows, std::size_t cols, ArrayRef<double> data);
 
   std::size_t rows() const { return rows_; }
   std::size_t cols() const { return cols_; }
@@ -39,11 +41,12 @@ class DenseMatrix {
   }
   void Set(std::size_t r, std::size_t c, double v) {
     GCM_ASSERT(r < rows_ && c < cols_);
-    data_[r * cols_ + c] = v;
+    data_.EnsureOwned()[r * cols_ + c] = v;
   }
 
-  const std::vector<double>& data() const { return data_; }
-  std::vector<double>& mutable_data() { return data_; }
+  /// Row-major payload; borrowed (a view over a mapped snapshot) when the
+  /// matrix came from a zero-copy load, owned otherwise.
+  const ArrayRef<double>& data() const { return data_; }
 
   /// Bytes of the uncompressed full representation (rows*cols*8); the
   /// denominator of every compression ratio in the paper.
@@ -94,7 +97,7 @@ class DenseMatrix {
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
-  std::vector<double> data_;
+  ArrayRef<double> data_;
 };
 
 /// Max absolute componentwise difference of two equal-length vectors.

@@ -42,21 +42,18 @@ const char* MatrixFileKindName(MatrixFileKind kind) {
 }
 
 MatrixFileKind SniffMatrixFile(const std::string& path) {
-  // A directory opens "successfully" as an ifstream on POSIX and an empty
-  // file sniffs as dense text whose parser then reports a confusing
-  // missing-header error; name both conditions up front instead.
-  std::error_code ec;
-  GCM_CHECK_MSG(!std::filesystem::is_directory(path, ec),
-                path << " is a directory, not a matrix file");
-  std::ifstream in(path, std::ios::binary);
-  GCM_CHECK_MSG(in.good(), "cannot open file: " << path);
-  char head[16] = {};
-  in.read(head, sizeof(head));
-  std::size_t got = static_cast<std::size_t>(in.gcount());
+  // Header-only peek: ReadFileHeader pulls at most 16 bytes, so sniffing
+  // a multi-GB snapshot (or a store manifest) costs one tiny read -- the
+  // dispatch target decides whether to map, stream or copy the rest. It
+  // also rejects directories up front (a directory opens "successfully"
+  // as an ifstream on POSIX) and an empty file is named here instead of
+  // surfacing as a confusing dense-text missing-header error.
+  std::vector<u8> head = ReadFileHeader(path);
+  std::size_t got = head.size();
   GCM_CHECK_MSG(got > 0, path << " is empty (0 bytes); not a matrix file");
   if (got >= sizeof(u32)) {
     u32 magic;
-    std::memcpy(&magic, head, sizeof(magic));
+    std::memcpy(&magic, head.data(), sizeof(magic));
     if (magic == kSnapshotMagic) return MatrixFileKind::kSnapshot;
     if (magic == kDenseMagic) return MatrixFileKind::kDenseBinary;
     if (magic == kCsrvMagic) return MatrixFileKind::kCsrvBinary;
@@ -66,7 +63,7 @@ MatrixFileKind SniffMatrixFile(const std::string& path) {
                           "get a snapshot");
   }
   if (got >= std::strlen(kMatrixMarketBanner) &&
-      std::memcmp(head, kMatrixMarketBanner,
+      std::memcmp(head.data(), kMatrixMarketBanner,
                   std::strlen(kMatrixMarketBanner)) == 0) {
     return MatrixFileKind::kMatrixMarket;
   }
@@ -79,7 +76,7 @@ void SaveDense(const DenseMatrix& matrix, const std::string& path) {
   writer.Put<u32>(kFormatVersion);
   writer.PutVarint(matrix.rows());
   writer.PutVarint(matrix.cols());
-  writer.PutVector(matrix.data());
+  writer.PutArray(matrix.data());
   WriteFileBytes(path, writer.buffer());
 }
 
@@ -103,8 +100,8 @@ void SaveCsrv(const CsrvMatrix& matrix, const std::string& path) {
   writer.Put<u32>(kFormatVersion);
   writer.PutVarint(matrix.rows());
   writer.PutVarint(matrix.cols());
-  writer.PutVector(matrix.dictionary());
-  writer.PutVector(matrix.sequence());
+  writer.PutArray(matrix.dictionary());
+  writer.PutArray(matrix.sequence());
   WriteFileBytes(path, writer.buffer());
 }
 

@@ -204,6 +204,37 @@ ShardManifest MatrixStore::ReadManifest(const std::string& dir_or_manifest) {
   return ShardManifest::Load(ManifestPath(dir_or_manifest));
 }
 
+ShardManifest MatrixStore::Resave(const std::string& dir_or_manifest) {
+  std::string manifest_path = ManifestPath(dir_or_manifest);
+  ShardManifest old = ShardManifest::Load(manifest_path);
+  std::string dir = fs::path(manifest_path).parent_path().string();
+  GCM_CHECK_MSG(!old.shards.empty(), "store manifest " << manifest_path
+                                                       << " lists no shards");
+  // WriteStore re-derives the shard tiling from a uniform grain, so the
+  // migrated layout matches the original only when every shard but the
+  // last covers the same number of rows -- which is how Partition always
+  // cuts. A hand-edited ragged store must be repartitioned instead.
+  std::size_t per_shard = old.shards.front().rows();
+  for (std::size_t i = 0; i + 1 < old.shards.size(); ++i) {
+    GCM_CHECK_MSG(old.shards[i].rows() == per_shard,
+                  "store " << dir << " has a non-uniform shard grain (shard "
+                           << i << " covers " << old.shards[i].rows()
+                           << " rows, shard 0 covers " << per_shard
+                           << "); repartition it instead of --resave");
+  }
+  // Each "build" is just a load of the existing shard file: the snapshot
+  // payload is adopted as-is and re-emitted in the current container
+  // version, and the PR 5 two-phase flip keeps the migration atomic.
+  return WriteStore(old.rows, old.cols, per_shard, dir, {},
+                    [&](std::size_t begin, std::size_t end) {
+                      (void)end;
+                      const ShardManifestEntry& entry =
+                          old.shards[begin / per_shard];
+                      return AnyMatrix::Load(
+                          (fs::path(dir) / entry.file).string());
+                    });
+}
+
 AnyMatrix MatrixStore::Open(const std::string& dir_or_manifest,
                             ShardLoadMode mode) {
   std::string manifest_path = ManifestPath(dir_or_manifest);

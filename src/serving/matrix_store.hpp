@@ -73,6 +73,16 @@ class MatrixStore {
   static AnyMatrix Open(const std::string& dir_or_manifest,
                         ShardLoadMode mode = ShardLoadMode::kLazy);
 
+  /// Rewrites every file of an existing store in the current container
+  /// version (`mm_repair_cli --resave`): each shard snapshot is loaded
+  /// (any supported version) and re-emitted, and a fresh manifest with the
+  /// new checksums lands last -- all through the same staged-temp + rename
+  /// pipeline as Partition, so a failure mid-migration leaves the original
+  /// store byte-for-byte intact. No construction pipeline runs (grammars /
+  /// rANS payloads are adopted as-is); file names are normalized to the
+  /// standard shard_<i> layout. Returns the refreshed manifest.
+  static ShardManifest Resave(const std::string& dir_or_manifest);
+
   /// Reads and validates the manifest alone (no shard file is touched).
   static ShardManifest ReadManifest(const std::string& dir_or_manifest);
 

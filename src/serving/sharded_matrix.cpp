@@ -10,6 +10,7 @@
 #include "matrix/dense_matrix.hpp"
 #include "matrix/sparse_builder.hpp"
 #include "util/check.hpp"
+#include "util/mapped_file.hpp"
 #include "util/partials.hpp"
 #include "util/thread_pool.hpp"
 
@@ -33,7 +34,7 @@ void CheckLoadedShard(const AnyMatrix& loaded, const ShardManifestEntry& entry,
 
 /// Checksum gate before any payload parsing: a swapped or bit-rotted shard
 /// must fail here, naming the shard, not deep inside a section parser.
-void CheckShardBytes(const std::vector<u8>& bytes,
+void CheckShardBytes(std::span<const u8> bytes,
                      const ShardManifestEntry& entry, const std::string& what) {
   GCM_CHECK_MSG(bytes.size() == entry.snapshot_bytes,
                 "shard " << what << " is " << bytes.size()
@@ -160,16 +161,33 @@ AnyMatrix ShardedMatrix::Acquire(const ShardState& shard) const {
   if (!shard.resident.valid()) {
     std::string path =
         (std::filesystem::path(dir_) / shard.entry.file).string();
-    std::vector<u8> bytes = ReadFileBytes(path);
+    // Map the file when the platform allows it: the manifest CRC gate
+    // walks the mapping once (a sequential fault-in the OS can discard
+    // again), the deserializer borrows its payload arrays out of it, and
+    // only the pages the kernels touch stay resident afterwards. The
+    // heap-read fallback keeps the exact pre-mmap behaviour.
+    std::shared_ptr<MappedFile> mapping = MappedFile::TryMap(path);
+    std::vector<u8> heap_copy;
+    std::span<const u8> bytes;
+    if (mapping != nullptr) {
+      bytes = mapping->bytes();
+    } else {
+      heap_copy = ReadFileBytes(path);
+      bytes = heap_copy;
+    }
     CheckShardBytes(bytes, shard.entry, "file " + path);
     AnyMatrix loaded;
     try {
-      loaded = AnyMatrix::LoadSnapshotBytes(std::move(bytes));
+      loaded = mapping != nullptr
+                   ? AnyMatrix::LoadSnapshot(
+                         SnapshotReader::FromSpan(bytes, mapping))
+                   : AnyMatrix::LoadSnapshotBytes(std::move(heap_copy));
     } catch (const Error& e) {
       throw Error("shard file " + path + ": " + e.what());
     }
     CheckLoadedShard(loaded, shard.entry, cols(), "file " + path);
     shard.resident = std::move(loaded);
+    shard.mapping = std::move(mapping);
   }
   shard.last_touch = ++clock_;
   return shard.resident;
@@ -199,7 +217,15 @@ bool ShardedMatrix::EvictShard(std::size_t index) const {
   if (!shard.file_backed) return false;  // nothing to reload from
   std::lock_guard<std::mutex> lock(shard.mu);
   if (!shard.resident.valid()) return false;
+  // Eviction of a mapped shard is advice + handle drop: MADV_DONTNEED
+  // releases the clean file-backed pages right now instead of waiting for
+  // memory pressure, and dropping our references lets the mapping unmap
+  // once outstanding engine handles (which retain it) are gone.
+  if (shard.mapping != nullptr) {
+    shard.mapping->Advise(MappedFile::Advice::kDontNeed);
+  }
   shard.resident = AnyMatrix();
+  shard.mapping.reset();
   return true;
 }
 
@@ -225,6 +251,72 @@ std::size_t ShardedMatrix::EvictToResidencyLimit(
   for (const auto& [touch, index] : resident) {
     if (total - evicted <= max_resident) break;
     if (EvictShard(index)) ++evicted;
+  }
+  return evicted;
+}
+
+u64 ShardedMatrix::ResidentBytesLocked(const ShardState& shard) const {
+  if (!shard.resident.valid()) return 0;
+  // A mapped shard holds exactly the pages the OS has faulted in; a
+  // heap-loaded shard owns its whole snapshot copy. In-memory shards
+  // (never snapshotted) are charged their compressed representation.
+  if (shard.mapping != nullptr) return shard.mapping->ResidentBytes();
+  if (shard.entry.snapshot_bytes != 0) return shard.entry.snapshot_bytes;
+  return shard.entry.compressed_bytes;
+}
+
+ShardedMatrix::ShardResidency ShardedMatrix::ShardResidencyInfo(
+    std::size_t index) const {
+  const ShardState& shard = state(index);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  ShardResidency info;
+  info.resident = shard.resident.valid();
+  info.mapped_bytes = shard.mapping != nullptr ? shard.mapping->size() : 0;
+  info.resident_bytes = ResidentBytesLocked(shard);
+  return info;
+}
+
+u64 ShardedMatrix::ResidentPayloadBytes() const {
+  u64 total = 0;
+  for (const auto& shard : states_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += ResidentBytesLocked(*shard);
+  }
+  return total;
+}
+
+std::size_t ShardedMatrix::EvictToResidentBytes(u64 max_bytes) const {
+  // Same LRU walk as EvictToResidencyLimit, but the budget is the
+  // page-granular footprint: each shard is charged what it actually holds
+  // (mincore over its mapping, or its owned copy). Pinned in-memory
+  // shards keep counting against the budget, so a limit below the pinned
+  // footprint evicts every file-backed shard.
+  std::vector<std::pair<u64, std::size_t>> resident;  // (last_touch, index)
+  u64 total = 0;
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    std::lock_guard<std::mutex> lock(states_[i]->mu);
+    u64 bytes = ResidentBytesLocked(*states_[i]);
+    total += bytes;
+    if (bytes != 0 && states_[i]->file_backed) {
+      resident.emplace_back(states_[i]->last_touch, i);
+    }
+  }
+  std::sort(resident.begin(), resident.end());
+  std::size_t evicted = 0;
+  for (const auto& [touch, index] : resident) {
+    if (total <= max_bytes) break;
+    // Re-measure under the lock right before evicting: pages may have
+    // been reclaimed (or faulted) since the snapshot above.
+    u64 bytes;
+    {
+      const ShardState& shard = *states_[index];
+      std::lock_guard<std::mutex> lock(shard.mu);
+      bytes = ResidentBytesLocked(shard);
+    }
+    if (EvictShard(index)) {
+      ++evicted;
+      total = total > bytes ? total - bytes : 0;
+    }
   }
   return evicted;
 }
@@ -573,7 +665,10 @@ void ShardedMatrix::SaveSections(SnapshotWriter* out) const {
   }
   embedded.SerializeInto(&out->BeginSection(kShardManifestSection));
   for (std::size_t i = 0; i < blobs.size(); ++i) {
-    out->BeginSection(ShardSectionName(i))
+    // Cache-line alignment so each embedded container starts where its
+    // own internal padding expects it -- a mapped single-file snapshot
+    // then borrows shard payload arrays exactly like sibling shard files.
+    out->BeginSection(ShardSectionName(i), kPayloadSectionAlignment)
         .PutBytes(blobs[i].data(), blobs[i].size());
   }
 }
@@ -677,13 +772,16 @@ AnyMatrix LoadShardedFromSnapshot(const SnapshotReader& in,
     shards.reserve(manifest.shards.size());
     for (std::size_t i = 0; i < manifest.shards.size(); ++i) {
       std::string section = ShardSectionName(i);
-      ByteReader reader = in.OpenSection(section);
-      std::vector<u8> bytes(reader.Remaining());
-      reader.GetBytes(bytes.data(), bytes.size());
+      // The embedded container is parsed in place: FromSpan views the
+      // outer reader's bytes and shares its backing, so a mapped
+      // single-file snapshot never copies a shard -- each loaded handle
+      // retains the outer mapping (or heap buffer) instead.
+      std::span<const u8> bytes = in.SectionSpan(section);
       try {
         CheckShardBytes(bytes, manifest.shards[i], "section \"" + section +
                                                        '"');
-        AnyMatrix shard = AnyMatrix::LoadSnapshotBytes(std::move(bytes));
+        AnyMatrix shard = AnyMatrix::LoadSnapshot(
+            SnapshotReader::FromSpan(bytes, in.backing()));
         CheckLoadedShard(shard, manifest.shards[i], manifest.cols,
                          "section \"" + section + '"');
         shards.push_back(std::move(shard));

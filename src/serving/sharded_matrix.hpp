@@ -80,6 +80,7 @@ struct ShardingPolicy {
   std::size_t ResolveRowsPerShard(std::size_t rows, std::size_t cols) const;
 };
 
+class MappedFile;
 class SnapshotReader;
 
 class ShardedMatrix final : public IMatrixKernel {
@@ -117,13 +118,39 @@ class ShardedMatrix final : public IMatrixKernel {
   /// (a cheap shared reference: eviction never invalidates it).
   AnyMatrix LoadShard(std::size_t index) const;
 
-  /// Drops a file-backed shard's resident payload. Returns false for
-  /// in-memory shards and shards that are not resident.
+  /// Drops a file-backed shard's resident payload. A mapped shard first
+  /// gets madvise(MADV_DONTNEED) so the OS releases its clean pages
+  /// immediately (outstanding engine handles stay valid -- they retain the
+  /// mapping and simply re-fault pages from disk on the next touch).
+  /// Returns false for in-memory shards and shards that are not resident.
   bool EvictShard(std::size_t index) const;
 
   /// Evicts least-recently-touched file-backed shards until at most
   /// `max_resident` shards remain resident. Returns the number evicted.
   std::size_t EvictToResidencyLimit(std::size_t max_resident) const;
+
+  /// Page-granular residency snapshot of one shard (`model_server --stats`
+  /// and byte-bounded eviction read these).
+  struct ShardResidency {
+    bool resident = false;   ///< deserialized kernel currently cached
+    u64 mapped_bytes = 0;    ///< live file mapping size (0 = copied/evicted)
+    u64 resident_bytes = 0;  ///< RAM actually held: mincore over the
+                             ///< mapping, or the owned copy's full size
+  };
+  ShardResidency ShardResidencyInfo(std::size_t index) const;
+
+  /// Sum of ShardResidencyInfo(i).resident_bytes over all shards -- the
+  /// page-granular serving footprint. A mapped shard counts only the pages
+  /// the OS actually holds (mincore), so the footprint can sit far below
+  /// the snapshot size when kernels touch a fraction of the payload.
+  u64 ResidentPayloadBytes() const;
+
+  /// Evicts least-recently-touched file-backed shards until the
+  /// page-granular resident footprint is at most `max_bytes`. In-memory
+  /// shards are pinned and keep counting toward the footprint. Returns the
+  /// number evicted; like EvictToResidencyLimit, a serving-loop hint that
+  /// concurrent touches may race, not an invariant.
+  std::size_t EvictToResidentBytes(u64 max_bytes) const;
 
   // ---- IMatrixKernel.
 
@@ -208,6 +235,11 @@ class ShardedMatrix final : public IMatrixKernel {
     bool file_backed = false;
     mutable std::mutex mu;
     mutable AnyMatrix resident;  ///< invalid when evicted / not yet loaded
+    /// Live mapping of the shard's snapshot file; null when the load fell
+    /// back to a heap copy (or the shard is in-memory / evicted). Held
+    /// here -- in addition to the keepalive inside `resident` -- so
+    /// eviction can madvise the pages away and stats can mincore them.
+    mutable std::shared_ptr<MappedFile> mapping;
     mutable u64 last_touch = 0;
   };
 
@@ -216,6 +248,8 @@ class ShardedMatrix final : public IMatrixKernel {
   const ShardState& state(std::size_t index) const;
   /// Loads (if needed), stamps the LRU clock, returns the shard handle.
   AnyMatrix Acquire(const ShardState& shard) const;
+  /// Page-granular resident bytes of one shard; caller holds `shard.mu`.
+  u64 ResidentBytesLocked(const ShardState& shard) const;
 
   ShardManifest manifest_;
   std::string dir_;  ///< base for shard files; empty when fully in-memory

@@ -1,0 +1,146 @@
+// ArrayRef<T>: an immutable array that either owns its elements (a
+// std::vector payload) or borrows them (a span over memory someone else
+// keeps alive -- a mapped snapshot section, see util/mapped_file.hpp and
+// encoding/snapshot.hpp).
+//
+// This is the storage type behind every deserialized backend payload: a
+// snapshot loaded from a byte buffer owns its arrays exactly as before,
+// while a snapshot loaded from an mmap'ed file borrows them, so the OS can
+// page compressed payloads in and out below the application's residency
+// granularity. The borrow-vs-own decision is made once, at read time, by
+// ByteReader::GetArray; the kernels only ever see data()/size().
+//
+// Lifetime contract: a *borrowed* ArrayRef is valid only while its backing
+// memory lives. The engine ties that lifetime to the snapshot handle (the
+// loaded AnyMatrix retains the mapping via a keepalive token), so user code
+// cannot observe a dangling borrow through the engine API. Code that copies
+// a backend out of that umbrella stays safe by construction: copying an
+// ArrayRef always materializes an owned vector, only moves preserve the
+// borrow.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace gcm {
+
+template <typename T>
+class ArrayRef {
+ public:
+  ArrayRef() = default;
+
+  /// Owning construction (implicit so FromParts-style call sites keep
+  /// passing std::move(vector) or a braced literal).
+  ArrayRef(std::vector<T> values)  // NOLINT(google-explicit-constructor)
+      : storage_(std::move(values)),
+        data_(storage_.data()),
+        size_(storage_.size()),
+        owned_(true) {}
+  ArrayRef(std::initializer_list<T> values)
+      : ArrayRef(std::vector<T>(values)) {}
+
+  /// Borrowing construction: `view` must outlive this ArrayRef and every
+  /// move-descendant of it (the snapshot loader guarantees this by
+  /// retaining the mapping in the loaded matrix handle).
+  static ArrayRef Borrowed(std::span<const T> view) {
+    ArrayRef ref;
+    ref.data_ = view.data();
+    ref.size_ = view.size();
+    ref.owned_ = false;
+    return ref;
+  }
+
+  /// Copies materialize: a copy never extends the borrow to an object the
+  /// backing keepalive does not cover.
+  ArrayRef(const ArrayRef& other) { *this = other; }
+  ArrayRef& operator=(const ArrayRef& other) {
+    if (this == &other) return *this;
+    storage_.assign(other.begin(), other.end());
+    data_ = storage_.data();
+    size_ = storage_.size();
+    owned_ = true;
+    return *this;
+  }
+
+  /// Moves preserve the borrow (the keepalive travels with the snapshot
+  /// handle, not with this object).
+  ArrayRef(ArrayRef&& other) noexcept { *this = std::move(other); }
+  ArrayRef& operator=(ArrayRef&& other) noexcept {
+    if (this == &other) return *this;
+    bool borrowed = !other.owned_;
+    const T* borrowed_data = other.data_;
+    std::size_t borrowed_size = other.size_;
+    storage_ = std::move(other.storage_);
+    if (borrowed) {
+      data_ = borrowed_data;
+      size_ = borrowed_size;
+      owned_ = false;
+    } else {
+      data_ = storage_.data();
+      size_ = storage_.size();
+      owned_ = true;
+    }
+    other.storage_.clear();
+    other.data_ = other.storage_.data();
+    other.size_ = 0;
+    other.owned_ = true;
+    return *this;
+  }
+
+  const T* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  bool owned() const { return owned_; }
+
+  const T& operator[](std::size_t i) const {
+    GCM_DCHECK_BOUNDS(i, size_);
+    return data_[i];
+  }
+  const T& front() const { return (*this)[0]; }
+  const T& back() const { return (*this)[size_ - 1]; }
+
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+
+  std::span<const T> span() const { return {data_, size_}; }
+  operator std::span<const T>() const { return span(); }  // NOLINT
+
+  /// Explicit owned copy of the contents.
+  std::vector<T> ToVector() const { return std::vector<T>(begin(), end()); }
+
+  /// Mutable access to the elements, materializing an owned copy first
+  /// when borrowed (mutating through a borrow would scribble on someone
+  /// else's memory -- possibly a read-only mapping). The size is fixed.
+  T* EnsureOwned() {
+    if (!owned_) {
+      storage_.assign(begin(), end());
+      data_ = storage_.data();
+      size_ = storage_.size();
+      owned_ = true;
+    }
+    return storage_.data();
+  }
+
+  friend bool operator==(const ArrayRef& a, const ArrayRef& b) {
+    return std::equal(a.begin(), a.end(), b.begin(), b.end());
+  }
+  friend bool operator==(const ArrayRef& a, const std::vector<T>& b) {
+    return std::equal(a.begin(), a.end(), b.begin(), b.end());
+  }
+  friend bool operator==(const std::vector<T>& a, const ArrayRef& b) {
+    return b == a;
+  }
+
+ private:
+  std::vector<T> storage_;  ///< empty when borrowed
+  const T* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool owned_ = true;
+};
+
+}  // namespace gcm

@@ -1,0 +1,107 @@
+#include "util/mapped_file.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define GCM_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define GCM_HAVE_MMAP 0
+#endif
+
+#include <vector>
+
+namespace gcm {
+
+#if GCM_HAVE_MMAP
+
+std::shared_ptr<MappedFile> MappedFile::TryMap(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return nullptr;
+  struct stat st {};
+  if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode)) {
+    ::close(fd);
+    return nullptr;
+  }
+  auto file = std::shared_ptr<MappedFile>(new MappedFile());
+  file->path_ = path;
+  file->size_ = static_cast<std::size_t>(st.st_size);
+  if (file->size_ > 0) {
+    void* base =
+        ::mmap(nullptr, file->size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (base == MAP_FAILED) {
+      ::close(fd);
+      return nullptr;
+    }
+    file->map_base_ = base;
+    file->map_size_ = file->size_;
+    file->data_ = static_cast<const u8*>(base);
+  }
+  // The mapping holds its own reference to the file; the descriptor is no
+  // longer needed.
+  ::close(fd);
+  return file;
+}
+
+MappedFile::~MappedFile() {
+  if (map_base_ != nullptr) ::munmap(map_base_, map_size_);
+}
+
+void MappedFile::Advise(Advice advice) const {
+  if (map_base_ == nullptr) return;
+  int flag = MADV_NORMAL;
+  switch (advice) {
+    case Advice::kWillNeed: flag = MADV_WILLNEED; break;
+    case Advice::kDontNeed: flag = MADV_DONTNEED; break;
+    case Advice::kSequential: flag = MADV_SEQUENTIAL; break;
+  }
+  // Best-effort: MADV_DONTNEED on a clean private file mapping discards
+  // the pages and re-faults them from the file on the next touch, which is
+  // exactly the eviction semantics ShardedMatrix wants. Failure only costs
+  // memory, never correctness.
+  (void)::madvise(map_base_, map_size_, flag);
+}
+
+std::size_t MappedFile::ResidentBytes() const {
+  if (map_base_ == nullptr || map_size_ == 0) return 0;
+  const std::size_t page = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  const std::size_t pages = (map_size_ + page - 1) / page;
+#if defined(__linux__)
+  using McVec = unsigned char;
+#else
+  using McVec = char;
+#endif
+  std::vector<McVec> residency(pages);
+  if (::mincore(map_base_, map_size_, residency.data()) != 0) {
+    // No residency introspection: report everything resident so limits err
+    // on the conservative side.
+    return map_size_;
+  }
+  std::size_t resident_pages = 0;
+  for (McVec entry : residency) {
+    if (entry & 1) ++resident_pages;
+  }
+  std::size_t bytes = resident_pages * page;
+  return bytes < map_size_ ? bytes : map_size_;
+}
+
+bool MappedFile::Supported() { return true; }
+
+#else  // !GCM_HAVE_MMAP
+
+std::shared_ptr<MappedFile> MappedFile::TryMap(const std::string&) {
+  return nullptr;
+}
+
+MappedFile::~MappedFile() = default;
+
+void MappedFile::Advise(Advice) const {}
+
+std::size_t MappedFile::ResidentBytes() const { return size_; }
+
+bool MappedFile::Supported() { return false; }
+
+#endif  // GCM_HAVE_MMAP
+
+}  // namespace gcm

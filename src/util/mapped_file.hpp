@@ -1,0 +1,70 @@
+// MappedFile: read-only memory mapping of a whole file, with residency
+// introspection and paging advice.
+//
+// The snapshot stack uses this as the zero-copy load path: SnapshotReader
+// maps the file, the deserializers borrow spans straight out of the
+// mapping (util/array_ref.hpp), and the loaded matrix handle keeps the
+// MappedFile alive. Because the pages are a clean file-backed mapping the
+// OS can reclaim them under pressure and re-fault them from disk on the
+// next touch -- serving capacity is bounded by disk, not RAM.
+//
+// On platforms without mmap (or when the mapping fails), TryMap returns
+// nullptr and callers fall back to the read-copy path; nothing else in the
+// system needs to know.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "util/common.hpp"
+
+namespace gcm {
+
+class MappedFile {
+ public:
+  enum class Advice {
+    kWillNeed,    ///< prefetch: the pages will be touched soon
+    kDontNeed,    ///< drop clean pages now; re-fault from disk on touch
+    kSequential,  ///< aggressive readahead for a linear scan
+  };
+
+  /// Maps `path` read-only. Returns nullptr when the file cannot be
+  /// opened/mapped or the platform has no mmap -- callers fall back to
+  /// ReadFileBytes. Empty files map successfully (empty span).
+  static std::shared_ptr<MappedFile> TryMap(const std::string& path);
+
+  ~MappedFile();
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  std::span<const u8> bytes() const { return {data_, size_}; }
+  std::size_t size() const { return size_; }
+  const std::string& path() const { return path_; }
+
+  /// Paging advice for the whole mapping; best-effort (errors ignored --
+  /// advice never changes correctness).
+  void Advise(Advice advice) const;
+
+  /// Bytes of the mapping currently resident in RAM, counted page by page
+  /// (mincore). Returns size() on platforms without mincore, so residency
+  /// accounting degrades to the owned-bytes behaviour rather than
+  /// under-reporting to zero.
+  std::size_t ResidentBytes() const;
+
+  /// True when this build has a real mmap path (false = TryMap always
+  /// returns nullptr and every load copies).
+  static bool Supported();
+
+ private:
+  MappedFile() = default;
+
+  std::string path_;
+  const u8* data_ = nullptr;
+  std::size_t size_ = 0;
+  void* map_base_ = nullptr;  ///< munmap target (null for empty files)
+  std::size_t map_size_ = 0;
+};
+
+}  // namespace gcm

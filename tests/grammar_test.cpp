@@ -137,9 +137,10 @@ TEST(RePairTest, PaperFigure1Sequence) {
   RePairConfig config;
   config.forbidden_terminal = kCsrvSentinel;
   u32 alphabet = 1 + 6 * 5;
-  RePairResult result = RePairCompress(csrv.sequence(), alphabet, config);
+  RePairResult result =
+      RePairCompress(csrv.sequence().ToVector(), alphabet, config);
   EXPECT_EQ(result.slp.ExpandSequence(result.final_sequence),
-            csrv.sequence());
+            csrv.sequence().ToVector());
   EXPECT_GE(result.slp.rule_count(), 3u);  // rows share lots of structure
   for (const SlpRule& rule : result.slp.rules()) {
     EXPECT_NE(rule.left, kCsrvSentinel);

@@ -235,7 +235,7 @@ TEST(EntropyTrackingTest, CompressedSizeOrdersWithEntropy) {
     }
   }
   auto h1 = [](const DenseMatrix& m) {
-    return EmpiricalEntropy(CsrvMatrix::FromDense(m).sequence(), 1);
+    return EmpiricalEntropy(CsrvMatrix::FromDense(m).sequence().ToVector(), 1);
   };
   ASSERT_LT(h1(low), h1(mid));
   ASSERT_LT(h1(mid), h1(high));

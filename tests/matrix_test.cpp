@@ -186,12 +186,12 @@ TEST(CsrvTest, SplitRowBlocksPreservesContent) {
 TEST(CsrvTest, ValidateCatchesCorruption) {
   DenseMatrix m = PaperFigure1Matrix();
   CsrvMatrix csrv = CsrvMatrix::FromDense(m);
-  std::vector<u32> bad = csrv.sequence();
+  std::vector<u32> bad = csrv.sequence().ToVector();
   bad.push_back(kCsrvSentinel);  // extra sentinel -> row count mismatch
   EXPECT_THROW(CsrvMatrix::FromParts(m.rows(), m.cols(),
                                      csrv.dictionary(), bad),
                Error);
-  std::vector<u32> out_of_range = csrv.sequence();
+  std::vector<u32> out_of_range = csrv.sequence().ToVector();
   out_of_range[0] = EncodeCsrvPair(99, 0, 5);  // value id beyond dictionary
   EXPECT_THROW(CsrvMatrix::FromParts(m.rows(), m.cols(), csrv.dictionary(),
                                      out_of_range),

@@ -10,7 +10,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstddef>
+#include <cstring>
 #include <exception>
 #include <filesystem>
 #include <fstream>
@@ -18,6 +20,7 @@
 #include <vector>
 
 #include "core/any_matrix.hpp"
+#include "encoding/snapshot.hpp"
 #include "matrix/dense_matrix.hpp"
 #include "serving/matrix_store.hpp"
 #include "serving/shard_manifest.hpp"
@@ -115,6 +118,98 @@ TEST(SnapshotMutationTest, MutatedSnapshotBytesLoadOrThrow) {
           mutant, mutant);
     }
   }
+}
+
+// --------------------------------------------------------------------------
+// Targeted v2 structural mutations
+// --------------------------------------------------------------------------
+//
+// The random stream above almost always trips the checksum guard first.
+// These cases re-stamp the checksum after each mutation, so the v2
+// structural validators themselves (alignment byte, zero padding, pad
+// truncation) are what the reader must reject -- each with an error
+// naming the section, never a crash.
+
+/// Re-stamps the header checksum after a targeted mutation, so the
+/// structural validator (not the checksum guard) is what trips.
+void FixChecksum(std::vector<u8>* bytes) {
+  u32 crc = Crc32(bytes->data() + 12, bytes->size() - 12);
+  std::memcpy(bytes->data() + 8, &crc, sizeof(crc));
+}
+
+/// A v2 container with a small metadata section followed by a cache-line
+/// aligned payload section -- guaranteed to contain padding bytes before
+/// the payload. Returns the bytes and the payload's file offset.
+std::vector<u8> AlignedContainer(std::size_t* payload_offset) {
+  SnapshotWriter writer("dense");
+  writer.BeginSection("meta").PutString("structural mutation fixture");
+  ByteWriter& payload =
+      writer.BeginSection("payload", kPayloadSectionAlignment);
+  for (u8 i = 0; i < 32; ++i) payload.Put<u8>(i);
+  std::vector<u8> bytes = writer.Finish();
+
+  SnapshotReader pristine(bytes);
+  std::span<const u8> span = pristine.SectionSpan("payload");
+  *payload_offset =
+      static_cast<std::size_t>(span.data() - pristine.bytes().data());
+  EXPECT_EQ(*payload_offset % kPayloadSectionAlignment, 0u);
+  return bytes;
+}
+
+template <typename Fn>
+void ExpectThrowNaming(Fn&& fn, const std::string& fragment,
+                       const std::string& section) {
+  try {
+    fn();
+    FAIL() << "expected Error containing \"" << fragment << "\"";
+  } catch (const Error& e) {
+    std::string message = e.what();
+    EXPECT_NE(message.find(fragment), std::string::npos) << message;
+    EXPECT_NE(message.find(section), std::string::npos)
+        << "error must name the section: " << message;
+  }
+}
+
+TEST(SnapshotStructuralMutationTest, NonzeroPaddingByteIsNamedCorruption) {
+  std::size_t offset = 0;
+  std::vector<u8> bytes = AlignedContainer(&offset);
+  // The byte just before a 64-aligned payload is a pad byte (the varint
+  // length of a 32-byte payload is the nonzero byte 32, so a zero here
+  // can only be padding).
+  ASSERT_GT(offset, 0u);
+  ASSERT_EQ(bytes[offset - 1], 0u) << "expected a pad byte before payload";
+  bytes[offset - 1] = 0x5a;
+  FixChecksum(&bytes);
+  ExpectThrowNaming([&] { SnapshotReader reader(bytes); },
+                    "nonzero padding", "payload");
+}
+
+TEST(SnapshotStructuralMutationTest, InvalidAlignmentByteIsNamed) {
+  std::size_t offset = 0;
+  std::vector<u8> bytes = AlignedContainer(&offset);
+  // The alignment byte follows the section's name encoding
+  // (varint length 7 + "payload"); patch it to a non-power-of-two.
+  const u8 needle[] = {7, 'p', 'a', 'y', 'l', 'o', 'a', 'd'};
+  auto it = std::search(bytes.begin(), bytes.end(), std::begin(needle),
+                        std::end(needle));
+  ASSERT_NE(it, bytes.end());
+  std::size_t align_pos =
+      static_cast<std::size_t>(it - bytes.begin()) + sizeof(needle);
+  ASSERT_EQ(bytes[align_pos], kPayloadSectionAlignment);
+  bytes[align_pos] = 3;
+  FixChecksum(&bytes);
+  ExpectThrowNaming([&] { SnapshotReader reader(bytes); },
+                    "alignment 3", "payload");
+}
+
+TEST(SnapshotStructuralMutationTest, TruncationInsidePaddingIsNamed) {
+  std::size_t offset = 0;
+  std::vector<u8> bytes = AlignedContainer(&offset);
+  ASSERT_EQ(bytes[offset - 1], 0u) << "expected a pad byte before payload";
+  bytes.resize(offset - 1);  // cut inside the pad run, before the payload
+  FixChecksum(&bytes);
+  ExpectThrowNaming([&] { SnapshotReader reader(bytes); },
+                    "truncated inside its alignment padding", "payload");
 }
 
 TEST(SnapshotMutationTest, MutatedStoreManifestLoadsOrThrows) {

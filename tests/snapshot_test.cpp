@@ -114,8 +114,8 @@ TEST(SnapshotContainerTest, RejectsWrongVersion) {
   } catch (const Error& e) {
     std::string message = e.what();
     EXPECT_NE(message.find("version 99"), std::string::npos);
-    EXPECT_NE(message.find("version 1"), std::string::npos)
-        << "error must state the supported version: " << message;
+    EXPECT_NE(message.find("versions 1..2"), std::string::npos)
+        << "error must state the supported version range: " << message;
   }
 }
 
@@ -270,10 +270,9 @@ TEST(SnapshotEngineTest, OutOfRangeGrammarSymbolsAreRejectedAtLoad) {
   payload.PutVarint(2);            // alphabet = 1 + |V|*cols
   payload.PutVarint(2);            // |C|
   payload.PutVarint(0);            // |R|
-  payload.PutVarint(2);            // C payload
-  payload.Put<u32>(999);           //   symbol far outside the alphabet
-  payload.Put<u32>(0);             //   row sentinel
-  payload.PutVarint(0);            // R payload (empty)
+  // C payload: symbol 999 far outside the alphabet, then a row sentinel.
+  payload.PutArray(ArrayRef<u32>({999u, 0u}));
+  payload.PutArray(ArrayRef<u32>());  // R payload (empty)
   try {
     AnyMatrix::LoadSnapshotBytes(writer.Finish());
     FAIL() << "expected Error";
